@@ -1,0 +1,59 @@
+//! Criterion bench for E10: lakehouse commit latency, snapshot replay
+//! with/without checkpoints, and stats-pruned vs full scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lake_core::{Row, Table, Value};
+use lake_house::{Action, LakeTable, TxnLog};
+use lake_store::predicate::{CompareOp, Predicate};
+use lake_store::MemoryStore;
+use std::hint::black_box;
+
+fn batch(tag: i64, n: i64) -> Table {
+    let rows: Vec<Row> = (0..n).map(|i| vec![Value::Int(tag * 10_000 + i), Value::Int(tag)]).collect();
+    Table::from_rows("b", &["id", "tag"], rows).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_lakehouse");
+    g.sample_size(20);
+
+    // Commit latency (append path: encode + put + log commit).
+    g.bench_function("append_commit", |b| {
+        let store = MemoryStore::new();
+        let t = LakeTable::open(&store, "t");
+        let mut tag = 0i64;
+        b.iter(|| {
+            tag += 1;
+            black_box(t.append(&batch(tag, 100)).unwrap())
+        })
+    });
+
+    // Snapshot replay cost with and without checkpoints, 200 commits deep.
+    for (label, every) in [("no_checkpoints", 0u64), ("checkpoint_every_20", 20)] {
+        let store = MemoryStore::new();
+        let mut log = TxnLog::open(&store, "t");
+        log.checkpoint_every = every;
+        for i in 0..200 {
+            log.commit(&[Action::AddFile { path: format!("f{i}"), rows: 1 }]).unwrap();
+        }
+        g.bench_function(BenchmarkId::new("snapshot_replay", label), |b| {
+            b.iter(|| black_box(log.snapshot().unwrap()))
+        });
+    }
+
+    // Scan: stats-pruned point lookup vs full scan over 32 files.
+    let store = MemoryStore::new();
+    let t = LakeTable::open(&store, "scan");
+    for tag in 0..32 {
+        t.append(&batch(tag, 200)).unwrap();
+    }
+    let pred = [Predicate::new("id", CompareOp::Eq, 150_007i64)];
+    g.bench_function("scan_point_lookup_pruned", |b| {
+        b.iter(|| black_box(t.scan(&pred).unwrap()))
+    });
+    g.bench_function("scan_full", |b| b.iter(|| black_box(t.scan(&[]).unwrap())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for E1: MinHash+LSH candidate generation vs all-pairs
+//! exact Jaccard comparison, at two corpus sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lake_core::synth::{generate_lake, LakeGenConfig};
+use lake_discovery::corpus::{TableCorpus, SIGNATURE_LEN};
+use lake_index::lsh::LshIndex;
+use std::hint::black_box;
+
+fn corpus(groups: usize) -> TableCorpus {
+    let cfg = LakeGenConfig { groups, tables_per_group: 3, noise_tables: groups, ..Default::default() };
+    TableCorpus::new(generate_lake(&cfg).tables)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_lsh_scaling");
+    g.sample_size(10);
+    for groups in [8usize, 24] {
+        let corpus = corpus(groups);
+        let profiles = corpus.profiles();
+        g.bench_with_input(BenchmarkId::new("all_pairs_exact", profiles.len()), &corpus, |b, corpus| {
+            b.iter(|| {
+                let ps = corpus.profiles();
+                let mut hits = 0usize;
+                for a in 0..ps.len() {
+                    for b2 in a + 1..ps.len() {
+                        if ps[a].jaccard_exact(&ps[b2]) >= 0.4 {
+                            hits += 1;
+                        }
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("minhash_lsh", profiles.len()), &corpus, |b, corpus| {
+            b.iter(|| {
+                let mut lsh = LshIndex::new(SIGNATURE_LEN / 4, 4);
+                for (i, p) in corpus.profiles().iter().enumerate() {
+                    lsh.insert(i, p.signature.clone());
+                }
+                black_box(lsh.candidate_pairs().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for E2: JOSIE's cost-model top-k overlap search vs the
+//! naive full-posting-scan baseline, uniform vs Zipfian token skew.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lake_core::synth::Zipf;
+use lake_discovery::josie::Josie;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn build(alpha: f64) -> (Josie, Vec<Vec<String>>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let zipf = Zipf::new(2_000, alpha);
+    let mut josie = Josie::default();
+    let mut sets = Vec::new();
+    for id in 0..1_000 {
+        let set: Vec<String> = (0..80).map(|_| format!("v{}", zipf.sample(&mut rng))).collect();
+        josie.insert_set(id, set.iter().cloned());
+        sets.push(set);
+    }
+    // Plant 12 near-duplicates of the query set (real lakes contain
+    // joinable columns — the overlaps JOSIE's pruning exploits).
+    for d in 0..12usize {
+        let mut near = sets[0].clone();
+        near.truncate(70);
+        near.extend((0..10).map(|i| format!("extra{d}_{i}")));
+        josie.insert_set(1_000 + d, near);
+    }
+    (josie, sets)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_josie");
+    g.sample_size(20);
+    for alpha in [0.0f64, 1.2] {
+        let (josie, sets) = build(alpha);
+        g.bench_with_input(BenchmarkId::new("cost_model", format!("alpha{alpha}")), &(), |b, _| {
+            b.iter(|| {
+                let (top, _) = josie.top_k_overlap(&sets[0], 10, &[0]);
+                black_box(top)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive_scan", format!("alpha{alpha}")), &(), |b, _| {
+            b.iter(|| {
+                let (top, _) = josie.top_k_baseline(&sets[0], 10, &[0]);
+                black_box(top)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

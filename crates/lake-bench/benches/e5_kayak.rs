@@ -1,0 +1,46 @@
+//! Criterion bench for E5: KAYAK's parallel task-dependency execution vs
+//! sequential execution.
+//!
+//! The workload is latency-bound (each atomic task waits ~1 ms, the shape
+//! of profiling tasks that block on storage), so the dependency DAG's
+//! parallelism shows up as wall-clock improvement even on machines with
+//! few cores; CPU-bound speedups additionally require physical cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lake_organize::kayak::TaskGraph;
+use std::time::Duration;
+
+fn workload(chains: usize) -> TaskGraph {
+    let wait = Duration::from_millis(1);
+    let mut g = TaskGraph::new();
+    let mut tails = Vec::new();
+    for d in 0..chains {
+        let a = g.add_task(&format!("detect{d}"), move || std::thread::sleep(wait));
+        let b = g.add_task(&format!("profile{d}"), move || std::thread::sleep(wait));
+        g.add_dependency(a, b);
+        tails.push(b);
+    }
+    let join = g.add_task("join", move || std::thread::sleep(wait));
+    for t in tails {
+        g.add_dependency(t, join);
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("e5_kayak");
+    grp.sample_size(10);
+    let chains = 8;
+    grp.bench_function(BenchmarkId::new("sequential", chains), |b| {
+        b.iter(|| workload(chains).run_sequential().unwrap())
+    });
+    for workers in [2usize, 4, 8] {
+        grp.bench_function(BenchmarkId::new("parallel", workers), |b| {
+            b.iter(|| workload(chains).run_parallel(workers).unwrap())
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for E9: federated query execution with vs without
+//! predicate pushdown at 1% selectivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lake_core::{Dataset, DatasetId, Table, Value};
+use lake_query::federated::{FederatedEngine, SourceBinding};
+use lake_query::parse_query;
+use lake_store::{Polystore, StoreKind};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn setup() -> Polystore {
+    let ps = Polystore::new();
+    let rows = 10_000;
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| vec![Value::Int(i as i64), Value::Int((i % 100) as i64)])
+        .collect();
+    let t = Table::from_rows("events_live", &["id", "bucket"], data).unwrap();
+    ps.store(DatasetId(1), "events_live", Dataset::Table(t.clone())).unwrap();
+    let mut archived = t;
+    archived.name = "events_archive".into();
+    ps.store_in(DatasetId(2), "events_archive", Dataset::Table(archived), StoreKind::File)
+        .unwrap();
+    ps
+}
+
+fn bench(c: &mut Criterion) {
+    let ps = setup();
+    let cols: BTreeMap<String, String> = [
+        ("id".to_string(), "id".to_string()),
+        ("bucket".to_string(), "bucket".to_string()),
+    ]
+    .into();
+    let mut fe = FederatedEngine::new(&ps);
+    fe.register(
+        "events",
+        vec![
+            SourceBinding { store: StoreKind::Relational, location: "events_live".into(), columns: cols.clone() },
+            SourceBinding { store: StoreKind::File, location: "tables/events_archive.pql".into(), columns: cols },
+        ],
+    );
+    let q = parse_query("select id from events where bucket < 1").unwrap();
+
+    let mut g = c.benchmark_group("e9_federated");
+    g.sample_size(20);
+    g.bench_function("pushdown_on", |b| {
+        b.iter(|| black_box(fe.execute(&q, true).unwrap()))
+    });
+    g.bench_function("pushdown_off", |b| {
+        b.iter(|| black_box(fe.execute(&q, false).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! A1 — storage-design ablation (the §4.1 format choices made
+//! measurable): columnar dictionary encoding vs plain encoding, row vs
+//! columnar layouts, and the two compression codecs, over three value
+//! profiles (repetitive categorical, unique ids, numeric).
+
+use lake_core::synth::Zipf;
+use lake_core::{Column, Table, Value};
+use lake_formats::compress::{compress, Codec};
+use lake_formats::{columnar, rowenc};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+fn table(profile: &str, rows: usize, rng: &mut StdRng) -> Table {
+    let col = match profile {
+        "categorical" => {
+            let zipf = Zipf::new(12, 1.1);
+            Column::new(
+                "v",
+                (0..rows)
+                    .map(|_| Value::str(lake_core::synth::vocab::COLORS[zipf.sample(rng)]))
+                    .collect(),
+            )
+        }
+        "unique_ids" => Column::new(
+            "v",
+            (0..rows).map(|i| Value::str(format!("id-{i:08}-{}", rng.random::<u32>()))).collect(),
+        ),
+        _ => Column::new("v", (0..rows).map(|_| Value::Float(rng.random())).collect()),
+    };
+    let key = Column::new("k", (0..rows).map(|i| Value::Int(i as i64)).collect());
+    Table::from_columns(profile, vec![key, col]).unwrap()
+}
+
+fn main() {
+    let rows = 20_000;
+    let mut rng = StdRng::seed_from_u64(1);
+    println!("A1 — storage ablation ({rows} rows per profile)\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "profile", "columnar B", "row B", "col/row", "rle B", "lz77 B"
+    );
+    for profile in ["categorical", "unique_ids", "numeric"] {
+        let t = table(profile, rows, &mut rng);
+        let col_buf = columnar::encode(&t);
+        let row_buf = rowenc::encode(&t).unwrap();
+        let rle = compress(&col_buf, Codec::Rle).len();
+        let lz = compress(&col_buf, Codec::Lz77).len();
+        println!(
+            "{:<14} {:>12} {:>12} {:>9.2}x {:>10} {:>10}",
+            profile,
+            col_buf.len(),
+            row_buf.len(),
+            row_buf.len() as f64 / col_buf.len() as f64,
+            rle,
+            lz
+        );
+        // Round-trips stay intact under every layout.
+        assert_eq!(columnar::decode(&col_buf).unwrap(), t);
+        assert_eq!(rowenc::decode(&row_buf).unwrap(), t);
+    }
+
+    // Encode/decode throughput.
+    println!("\n{:<14} {:>12} {:>12}", "profile", "enc µs", "dec µs");
+    for profile in ["categorical", "unique_ids"] {
+        let t = table(profile, rows, &mut rng);
+        let t0 = Instant::now();
+        let buf = columnar::encode(&t);
+        let enc = t0.elapsed().as_secs_f64() * 1e6;
+        let t1 = Instant::now();
+        let _ = columnar::decode(&buf).unwrap();
+        let dec = t1.elapsed().as_secs_f64() * 1e6;
+        println!("{:<14} {:>12.0} {:>12.0}", profile, enc, dec);
+    }
+    println!("\nshape check: dictionary encoding shrinks categorical columns several-fold");
+    println!("(hence the survey's Parquet-for-analytics guidance); unique ids defeat the");
+    println!("dictionary and row/columnar sizes converge; LZ77 further squeezes repetitive");
+    println!("payloads where RLE alone cannot.");
+}

@@ -1,0 +1,79 @@
+//! E10 — Lakehouse ACID storage (§8.3): optimistic-concurrency commit
+//! throughput under contention, snapshot-isolation checks, time travel,
+//! and data-skipping effectiveness as the file count grows.
+
+use lake_core::{Row, Table, Value};
+use lake_house::LakeTable;
+use lake_store::predicate::{CompareOp, Predicate};
+use lake_store::MemoryStore;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn batch(tag: i64, n: i64) -> Table {
+    let rows: Vec<Row> = (0..n).map(|i| vec![Value::Int(tag * 10_000 + i), Value::Int(tag)]).collect();
+    Table::from_rows("b", &["id", "tag"], rows).unwrap()
+}
+
+fn main() {
+    println!("E10 — lakehouse ACID over the object store\n");
+
+    // Concurrent writer throughput.
+    println!("{:>8} {:>12} {:>14}", "writers", "commits", "commits/sec");
+    for writers in [1usize, 2, 4, 8] {
+        let store = Arc::new(MemoryStore::new());
+        LakeTable::open(store.as_ref(), "t").append(&batch(0, 10)).unwrap();
+        let per_writer = 20;
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let t = LakeTable::open(store.as_ref(), "t");
+                    for i in 0..per_writer {
+                        t.append(&batch((w * 100 + i) as i64 + 1, 10)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let commits = writers * per_writer;
+        let t = LakeTable::open(store.as_ref(), "t");
+        assert_eq!(t.log().latest_version() as usize, commits + 1, "no lost commits");
+        println!("{:>8} {:>12} {:>14.0}", writers, commits, commits as f64 / secs);
+    }
+
+    // Data skipping as the table accumulates files.
+    println!("\n{:>8} {:>14} {:>14}", "files", "files read", "skip rate");
+    let store = MemoryStore::new();
+    let t = LakeTable::open(&store, "skip");
+    for files in [4i64, 16, 64] {
+        while (t.file_count().unwrap() as i64) < files {
+            let tag = t.file_count().unwrap() as i64;
+            t.append(&batch(tag, 50)).unwrap();
+        }
+        let (hits, stats) = t
+            .scan(&[Predicate::new("id", CompareOp::Eq, 10_000i64 * (files / 2) + 7)])
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        println!(
+            "{:>8} {:>14} {:>14}",
+            files,
+            stats.files_read,
+            lake_bench::pct(stats.files_skipped as f64 / files as f64)
+        );
+    }
+
+    // Snapshot isolation: a reader pinned at an old version is unaffected
+    // by later compaction.
+    let pinned = t.log().latest_version();
+    let (rows_before, _) = t.scan_at(pinned, &[]).unwrap();
+    t.compact().unwrap();
+    let (rows_after, _) = t.scan_at(pinned, &[]).unwrap();
+    assert_eq!(rows_before.len(), rows_after.len());
+    println!("\nsnapshot isolation: pinned reader unaffected by compaction ✓");
+    println!("shape check: throughput degrades gracefully under contention (optimistic");
+    println!("retries), and skip rate approaches 1 - 1/files for point lookups.");
+}

@@ -1,0 +1,76 @@
+//! E11 — DATAMARAN (§5.1): unsupervised structure extraction from
+//! multi-line logs "provides a high extraction accuracy compared to
+//! existing works".
+//!
+//! Synthetic corpora with known record templates measure template
+//! recovery and record-extraction accuracy against a naive
+//! one-line-one-record splitter baseline.
+
+use lake_ingest::datamaran::{Datamaran, DatamaranConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generate a log from `k` known templates, with multi-line stack frames
+/// on error records.
+fn synth_log(lines: usize, templates: usize, seed: u64) -> (Vec<String>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log = Vec::new();
+    let mut records = 0;
+    while log.len() < lines {
+        let t = rng.random_range(0..templates);
+        let ts = format!("2024-01-{:02} {:02}:{:02}:{:02}", rng.random_range(1..28), rng.random_range(0..24), rng.random_range(0..60), rng.random_range(0..60));
+        records += 1;
+        match t {
+            0 => log.push(format!("{ts} INFO user {} logged in", rng.random_range(100..999))),
+            1 => log.push(format!("{ts} WARN disk {}% full on node{}", rng.random_range(50..99), rng.random_range(0..8))),
+            2 => {
+                log.push(format!("{ts} ERROR request {} failed", rng.random_range(1000..9999)));
+                for f in 0..rng.random_range(1..4) {
+                    log.push(format!("  at frame_{f} in module{}", rng.random_range(0..5)));
+                }
+            }
+            _ => log.push(format!("{ts} DEBUG cache hit ratio {:.2}", rng.random::<f64>())),
+        }
+    }
+    (log, records)
+}
+
+fn main() {
+    println!("E11 — DATAMARAN log-structure extraction\n");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>14}",
+        "lines", "templates", "found", "match rate", "naive records"
+    );
+    for templates in [2usize, 3, 4] {
+        let (log, true_records) = synth_log(2_000, templates, 7);
+        let d = Datamaran::new(DatamaranConfig { min_coverage: 0.05, refine: true });
+        let result = d.extract_records(&log);
+        let matched = result.records.len();
+        let match_rate = matched as f64 / true_records as f64;
+        // Naive baseline treats every line as a record — overcounts by all
+        // continuation lines.
+        let naive_records = log.len();
+        println!(
+            "{:>10} {:>10} {:>10} {:>12} {:>14}",
+            log.len(),
+            templates,
+            result.templates.len(),
+            lake_bench::pct(match_rate),
+            naive_records
+        );
+        assert!(match_rate > 0.95, "extraction accuracy too low");
+        assert!(result.unmatched as f64 <= true_records as f64 * 0.05);
+    }
+
+    // Field extraction fidelity.
+    let (log, _) = synth_log(500, 2, 9);
+    let result = Datamaran::default().extract_records(&log);
+    let with_fields = result.records.iter().filter(|r| !r.fields.is_empty()).count();
+    println!(
+        "\nfield extraction: {}/{} records carry structured field values",
+        with_fields,
+        result.records.len()
+    );
+    println!("shape check: near-perfect record recovery without supervision; the naive");
+    println!("splitter cannot tell continuation lines from records.");
+}

@@ -1,0 +1,82 @@
+//! E12 — ALITE (§6.3): Full Disjunction integrates discovered tables more
+//! completely than chains of binary outer joins.
+//!
+//! On cyclic-association inputs (the classic R(a,b), S(b,c), T(c,a)
+//! pattern scaled up), count the fully-associated result tuples each
+//! method recovers, and verify no source tuple is lost.
+
+use lake_core::{Table, Value};
+use lake_integrate::alite::{align_columns, full_disjunction, outer_join_chain};
+
+fn cyclic_tables(entities: usize) -> Vec<Table> {
+    // R(person, city), S(city, country), T(country, person) — associations
+    // that close a cycle per entity.
+    let r = Table::from_rows(
+        "r",
+        &["person", "city"],
+        (0..entities)
+            .map(|i| vec![Value::str(format!("p{i}")), Value::str(format!("city{i}"))])
+            .collect(),
+    )
+    .unwrap();
+    let s = Table::from_rows(
+        "s",
+        &["city", "country"],
+        (0..entities)
+            .map(|i| vec![Value::str(format!("city{i}")), Value::str(format!("country{i}"))])
+            .collect(),
+    )
+    .unwrap();
+    let t = Table::from_rows(
+        "t",
+        &["country", "person"],
+        (0..entities)
+            .map(|i| vec![Value::str(format!("country{i}")), Value::str(format!("q{i}"))])
+            .collect(),
+    )
+    .unwrap();
+    vec![r, s, t]
+}
+
+fn main() {
+    println!("E12 — ALITE full disjunction vs binary outer-join chain\n");
+    let tables = cyclic_tables(6);
+    let refs: Vec<&Table> = tables.iter().collect();
+
+    // Column alignment by embeddings (the ALITE pipeline).
+    let alignment = align_columns(&refs, 0.45);
+    println!(
+        "alignment: {} integrated attributes from {} source columns",
+        alignment.num_attributes,
+        refs.iter().map(|t| t.num_columns()).sum::<usize>()
+    );
+    assert_eq!(alignment.num_attributes, 4, "person/city/country/person₂? got {}", alignment.num_attributes);
+
+    let fd = full_disjunction(&refs, &alignment).unwrap();
+    let chain = outer_join_chain(&refs, &alignment).unwrap();
+
+    let complete = |t: &Table| {
+        t.iter_rows()
+            .filter(|r| r.iter().filter(|v| !v.is_null()).count() >= 3)
+            .count()
+    };
+    println!("full disjunction:  {} rows, {} fully-associated", fd.num_rows(), complete(&fd));
+    println!("outer-join chain:  {} rows, {} fully-associated", chain.num_rows(), complete(&chain));
+
+    // Every source tuple must be preserved by FD.
+    for (ti, t) in refs.iter().enumerate() {
+        for r in 0..t.num_rows() {
+            let covered = fd.iter_rows().any(|row| {
+                t.columns().iter().enumerate().all(|(ci, col)| {
+                    let target = alignment.assignment[ti][ci];
+                    row[target] == col.values[r]
+                })
+            });
+            assert!(covered, "lost tuple {ti}/{r}");
+        }
+    }
+    println!("tuple preservation: every source tuple subsumed by an FD tuple ✓");
+    assert!(complete(&fd) >= complete(&chain));
+    println!("\nshape check: FD recovers at least as many full associations as any join");
+    println!("chain, and is order-independent — the reason ALITE computes FD.");
+}

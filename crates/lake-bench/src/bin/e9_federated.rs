@@ -1,0 +1,69 @@
+//! E9 — heterogeneous querying (§7.2, §6.3): pushing selection predicates
+//! down to the sources "reduces the amount of data to be loaded"
+//! (Constance; Ontario's optimized plans).
+//!
+//! Sweep predicate selectivity over a three-store federation; report rows
+//! moved and latency with and without pushdown.
+
+use lake_core::{Dataset, DatasetId, Table, Value};
+use lake_query::federated::{FederatedEngine, SourceBinding};
+use lake_query::parse_query;
+use lake_store::{Polystore, StoreKind};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn main() -> lake_core::Result<()> {
+    let rows = 20_000;
+    let ps = Polystore::new();
+
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| vec![Value::Int(i as i64), Value::Int((i % 100) as i64), Value::str(format!("p{i}"))])
+        .collect();
+    let t = Table::from_rows("events_live", &["id", "bucket", "payload"], data)?;
+    ps.store(DatasetId(1), "events_live", Dataset::Table(t.clone()))?;
+    let mut archived = t.clone();
+    archived.name = "events_archive".into();
+    ps.store_in(DatasetId(2), "events_archive", Dataset::Table(archived), StoreKind::File)?;
+
+    let cols: BTreeMap<String, String> = [
+        ("id".to_string(), "id".to_string()),
+        ("bucket".to_string(), "bucket".to_string()),
+        ("payload".to_string(), "payload".to_string()),
+    ]
+    .into();
+    let mut fe = FederatedEngine::new(&ps);
+    fe.register(
+        "events",
+        vec![
+            SourceBinding { store: StoreKind::Relational, location: "events_live".into(), columns: cols.clone() },
+            SourceBinding { store: StoreKind::File, location: "tables/events_archive.pql".into(), columns: cols },
+        ],
+    );
+
+    println!("E9 — federated predicate pushdown ({} rows × 2 sources)\n", rows);
+    println!(
+        "{:>12} {:>12} {:>12} {:>10} {:>10}",
+        "selectivity", "moved(push)", "moved(no)", "push ms", "no-push ms"
+    );
+    for buckets in [1i64, 10, 50, 100] {
+        let q = parse_query(&format!("select id from events where bucket < {buckets}"))?;
+        let t0 = Instant::now();
+        let (res_push, s_push) = fe.execute(&q, true)?;
+        let push_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let (res_no, s_no) = fe.execute(&q, false)?;
+        let no_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(res_push.num_rows(), res_no.num_rows(), "answers must agree");
+        println!(
+            "{:>11}% {:>12} {:>12} {:>10.1} {:>10.1}",
+            buckets,
+            s_push.rows_moved,
+            s_no.rows_moved,
+            push_ms,
+            no_ms
+        );
+    }
+    println!("\nshape check: pushdown moves only matching rows; the gap is largest for");
+    println!("selective predicates — the Constance/Ontario optimization in action.");
+    Ok(())
+}

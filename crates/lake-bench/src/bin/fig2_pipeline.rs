@@ -1,0 +1,95 @@
+//! Regenerate Fig. 2: drive one dataset batch through every tier of the
+//! proposed architecture and print the per-tier trace — storage tier
+//! routing, ingestion-tier extraction/modeling, all seven maintenance
+//! functions, and both exploration functions.
+
+use lake::users::Role;
+use lake::DataLake;
+use lake_bench::section;
+use lake_discovery::DiscoverySystem;
+
+fn main() -> lake_core::Result<()> {
+    let mut dl = DataLake::new();
+    dl.access.add_user("omar", Role::Operations);
+    dl.access.add_user("carl", Role::Curator);
+
+    section("STORAGE TIER — polystore routing by original format");
+    dl.ingest_file("omar", "crm/customers.csv", b"customer_id,city,country\nc1,delft,nl\nc2,paris,fr\nc3,delft,nl\nc4,delft,de\n")?;
+    dl.ingest_file("omar", "shop/orders.csv", b"order_id,customer_id,total\no1,c1,10\no2,c2,99\no3,c1,30\n")?;
+    dl.ingest_file("omar", "app/profiles.json", br#"{"user": "c1", "prefs": {"lang": "nl"}}"#)?;
+    dl.ingest_file("omar", "ops/app.log", b"2024-01-01 12:00:00 INFO user c1 login\n2024-01-01 12:00:09 INFO user c2 login\n")?;
+    println!("placements: {:?}", dl.store.placement_summary());
+
+    section("INGESTION TIER — metadata extraction & modeling");
+    for id in dl.dataset_ids() {
+        let e = dl.metamodel.entry(id).unwrap();
+        println!(
+            "  {} structure={:?} props={}",
+            dl.meta(id)?.name,
+            e.structure.as_ref().map(std::mem::discriminant),
+            e.properties.len()
+        );
+    }
+
+    section("MAINTENANCE TIER — the seven functions");
+    // 1. Dataset organization (GOODS catalog + zones).
+    println!("1. organization: catalog entries={}, zones assigned", dl.catalog.len());
+    for id in dl.dataset_ids() {
+        dl.promote("carl", id)?;
+    }
+    // 2. Related dataset discovery.
+    let (corpus, _) = dl.corpus();
+    let mut aurum = lake_discovery::aurum::Aurum::default();
+    aurum.build(&corpus);
+    let q = corpus.table_index("customers").unwrap();
+    let rel = aurum.top_k_related(&corpus, q, 2);
+    println!(
+        "2. discovery: customers ↔ {:?}",
+        rel.iter().map(|&(t, _)| &corpus.tables()[t].name).collect::<Vec<_>>()
+    );
+    // 3. Data integration.
+    let t_cust = dl.store.relational.get_table("customers")?;
+    let t_ord = dl.store.relational.get_table("orders")?;
+    let refs = vec![&t_cust, &t_ord];
+    let ischema = lake_integrate::mapping::IntegratedSchema::build(
+        &refs,
+        lake_integrate::matching::MatcherKind::Hybrid,
+        0.4,
+    );
+    println!("3. integration: integrated schema has {} attributes", ischema.attributes.len());
+    // 4. Metadata enrichment.
+    let rfds = lake_maintain::enrich::rfd::discover_rfds(&t_cust, 0.7, true);
+    println!("4. enrichment: {} relaxed FDs discovered on customers", rfds.len());
+    // 5. Data cleaning.
+    let report = lake_maintain::clean::clams::analyze(&t_cust, 0.7);
+    println!(
+        "5. cleaning: {} constraints, {} review-queue triples",
+        report.constraints.len(),
+        report.review_queue.len()
+    );
+    // 6. Schema evolution.
+    let mut hist = lake_maintain::evolve::EvolutionHistory::default();
+    hist.ingest(1, &[lake_formats::json::parse(r#"{"user": "c1"}"#)?]);
+    hist.ingest(2, &[lake_formats::json::parse(r#"{"user": "c1", "prefs": {"lang": "nl"}}"#)?]);
+    println!("6. evolution: {} schema versions, ops={:?}", hist.versions.len(), hist.operations(0));
+    // 7. Data provenance.
+    let pg = dl.provenance();
+    println!("7. provenance: graph has {} nodes", pg.graph().node_count());
+
+    section("EXPLORATION TIER");
+    let hits = lake_query::explore::joinable_for_column(&corpus, q, 0, 2);
+    println!(
+        "query-driven discovery: top joinable = {:?}",
+        hits.iter().map(|a| &corpus.tables()[a.table].name).collect::<Vec<_>>()
+    );
+    let fe = dl.federated();
+    let query = lake_query::parse_query("select customer_id, total from orders where total > 20")?;
+    let (result, stats) = fe.execute(&query, true)?;
+    println!(
+        "heterogeneous querying: {} rows (moved {} from sources)",
+        result.num_rows(),
+        stats.rows_moved
+    );
+    println!("\nFig. 2 pipeline complete ✓");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Regenerate Table 2: comparison of DAG-based dataset organization
+//! approaches — the descriptive rows come from the implementations'
+//! `describe()` methods, and the measured |V|/|E| columns from actually
+//! building each DAG on one synthetic data-science scenario.
+
+use lake_bench::standard_lake;
+use lake_organize::kayak::{describe_task_graph, Pipeline, Primitive, TaskGraph};
+use lake_organize::notebook::{synth_notebook, VariableDependencyGraph};
+use lake_organize::organization::{attribute_embeddings, build_optimized};
+use lake_organize::DagDescription;
+
+fn main() {
+    let (tables, _) = standard_lake();
+    let mut rows: Vec<DagDescription> = Vec::new();
+
+    // KAYAK pipeline + task dependency on an insert/profile/relate flow.
+    let mut graph = TaskGraph::new();
+    let mut pipeline = Pipeline::new();
+    let mut prev: Option<usize> = None;
+    for t in tables.iter().take(6) {
+        let detect = graph.add_task(&format!("detect:{}", t.name), || {});
+        let profile = graph.add_task(&format!("profile:{}", t.name), || {});
+        let join = graph.add_task(&format!("joinability:{}", t.name), || {});
+        let p = pipeline.add_primitive(Primitive {
+            name: format!("insert_{}", t.name),
+            tasks: vec![detect, profile, join],
+        });
+        if let Some(prev) = prev {
+            pipeline.add_order(prev, p);
+        }
+        prev = Some(p);
+    }
+    pipeline.lower(&mut graph);
+    rows.push(pipeline.describe());
+    rows.push(describe_task_graph(&graph));
+
+    // Nargesian organization over the lake's attributes.
+    let embeddings = attribute_embeddings(&tables, 32);
+    let org = build_optimized(&embeddings, 4);
+    rows.push(org.describe());
+
+    // Juneau variable dependency graph from a synthetic notebook session.
+    let nb = synth_notebook("analysis", &["dropna", "normalize", "merge", "groupby", "plot"]);
+    let vdg = VariableDependencyGraph::from_notebook(&nb);
+    rows.push(vdg.describe());
+
+    println!("Table 2 — Comparison of DAG-based dataset organization approaches");
+    println!("(descriptions generated from the implementations; |V|,|E| measured)\n");
+    for d in &rows {
+        println!("System:        {}", d.system);
+        println!("  Function:    {}", d.function);
+        println!("  Node:        {}", d.node);
+        println!("  Edge:        {}", d.edge);
+        println!("  Direction:   {}", d.edge_direction);
+        println!("  Built:       |V|={} |E|={}", d.nodes_built, d.edges_built);
+        println!();
+    }
+
+    // Sanity: the four rows of the paper's Table 2.
+    assert_eq!(rows.len(), 4);
+    assert!(graph.run_parallel(4).is_ok());
+    println!("task-dependency DAG executed in parallel ✓");
+}

@@ -1,0 +1,214 @@
+//! The dataset abstraction: raw data in its original shape, plus basic
+//! descriptive metadata.
+//!
+//! A data lake "ingests and stores raw data from heterogeneous sources in
+//! their original format" (survey §1). [`Dataset`] is that original-format
+//! payload: tabular, document, graph, log, or free text. Everything richer
+//! (schemata, signatures, domains, provenance) is *metadata about* a
+//! dataset and lives in the ingestion/maintenance crates.
+
+use crate::graph::PropertyGraph;
+use crate::ids::DatasetId;
+use crate::json::Json;
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The original shape of an ingested dataset.
+#[derive(Debug, Clone)]
+pub enum Dataset {
+    /// Tabular data (CSV, exported relations, web tables).
+    Table(Table),
+    /// A collection of semi-structured documents (JSON/XML).
+    Documents(Vec<Json>),
+    /// Graph-shaped data.
+    Graph(PropertyGraph),
+    /// A raw log: one record may span multiple lines (DATAMARAN's setting).
+    Log(Vec<String>),
+    /// Unstructured free text.
+    Text(String),
+}
+
+/// Which shape a [`Dataset`] has — used for polystore routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Tabular.
+    Table,
+    /// Document collection.
+    Documents,
+    /// Property graph.
+    Graph,
+    /// Raw log lines.
+    Log,
+    /// Free text.
+    Text,
+}
+
+impl DatasetKind {
+    /// Short name used in catalogs and demo output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Table => "table",
+            DatasetKind::Documents => "documents",
+            DatasetKind::Graph => "graph",
+            DatasetKind::Log => "log",
+            DatasetKind::Text => "text",
+        }
+    }
+}
+
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Dataset {
+    /// The dataset's shape.
+    pub fn kind(&self) -> DatasetKind {
+        match self {
+            Dataset::Table(_) => DatasetKind::Table,
+            Dataset::Documents(_) => DatasetKind::Documents,
+            Dataset::Graph(_) => DatasetKind::Graph,
+            Dataset::Log(_) => DatasetKind::Log,
+            Dataset::Text(_) => DatasetKind::Text,
+        }
+    }
+
+    /// Tabular view, if this is a table.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Dataset::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Document view.
+    pub fn as_documents(&self) -> Option<&[Json]> {
+        match self {
+            Dataset::Documents(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Graph view.
+    pub fn as_graph(&self) -> Option<&PropertyGraph> {
+        match self {
+            Dataset::Graph(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// A rough record count: rows, documents, nodes, lines, or 1 for text.
+    pub fn record_count(&self) -> usize {
+        match self {
+            Dataset::Table(t) => t.num_rows(),
+            Dataset::Documents(d) => d.len(),
+            Dataset::Graph(g) => g.node_count(),
+            Dataset::Log(l) => l.len(),
+            Dataset::Text(_) => 1,
+        }
+    }
+
+    /// Approximate in-memory size in cells/leaves/characters — the "size"
+    /// column of catalog entries.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Dataset::Table(t) => t.cell_count(),
+            Dataset::Documents(d) => d.iter().map(Json::leaf_count).sum(),
+            Dataset::Graph(g) => g.node_count() + g.edge_count(),
+            Dataset::Log(l) => l.iter().map(String::len).sum(),
+            Dataset::Text(t) => t.len(),
+        }
+    }
+}
+
+/// Basic descriptive metadata attached to every ingested dataset.
+///
+/// This corresponds to the "basic metadata" category of the GOODS catalog
+/// (§6.1.1): name, source, declared format, logical ingestion timestamp,
+/// free-form tags and annotations. Logical time is a lake-wide tick rather
+/// than wall-clock time, keeping every run reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetMeta {
+    /// Lake-wide id.
+    pub id: DatasetId,
+    /// Human name (file stem, table name, …).
+    pub name: String,
+    /// Where the data came from (URI, device, department …).
+    pub source: String,
+    /// Declared or detected original format ("csv", "json", "log", …).
+    pub format: String,
+    /// Logical ingestion time (a monotone lake tick).
+    pub ingested_at: u64,
+    /// Free-form user/curator tags.
+    pub tags: Vec<String>,
+    /// Key→value annotations (crowdsourced descriptions, owners, zones …).
+    pub annotations: BTreeMap<String, String>,
+}
+
+impl DatasetMeta {
+    /// Minimal metadata for a newly ingested dataset.
+    pub fn new(id: DatasetId, name: impl Into<String>, format: impl Into<String>) -> DatasetMeta {
+        DatasetMeta {
+            id,
+            name: name.into(),
+            source: String::new(),
+            format: format.into(),
+            ingested_at: 0,
+            tags: Vec::new(),
+            annotations: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style source setter.
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = source.into();
+        self
+    }
+
+    /// Builder-style tag appender.
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tags.push(tag.into());
+        self
+    }
+
+    /// Add or replace an annotation.
+    pub fn annotate(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.annotations.insert(key.into(), value.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use crate::value::Value;
+
+    #[test]
+    fn kinds_and_counts() {
+        let t = Table::from_rows("t", &["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+        let d = Dataset::Table(t);
+        assert_eq!(d.kind(), DatasetKind::Table);
+        assert_eq!(d.record_count(), 2);
+        assert_eq!(d.approx_size(), 2);
+        assert!(d.as_table().is_some());
+        assert!(d.as_documents().is_none());
+
+        let logs = Dataset::Log(vec!["a".into(), "bb".into()]);
+        assert_eq!(logs.record_count(), 2);
+        assert_eq!(logs.approx_size(), 3);
+        assert_eq!(logs.kind().name(), "log");
+    }
+
+    #[test]
+    fn meta_builder() {
+        let mut m = DatasetMeta::new(DatasetId(7), "sales", "csv")
+            .with_source("s3://raw/sales.csv")
+            .with_tag("finance");
+        m.annotate("owner", "ops");
+        assert_eq!(m.id, DatasetId(7));
+        assert_eq!(m.tags, vec!["finance"]);
+        assert_eq!(m.annotations.get("owner").map(String::as_str), Some("ops"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Identifier newtypes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lake-wide dataset identifier.
+///
+/// Ids are assigned by the catalog at ingestion time and are stable for the
+/// lifetime of the lake; every maintenance function (discovery, provenance,
+/// organization, …) refers to datasets by `DatasetId` rather than by name,
+/// because names may be renamed or duplicated across zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub u64);
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ds:{}", self.0)
+    }
+}
+
+/// A monotone id generator, shared by catalogs.
+#[derive(Debug, Default)]
+pub struct IdGen {
+    next: AtomicU64,
+}
+
+impl IdGen {
+    /// A generator starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate the next [`DatasetId`].
+    pub fn next_dataset(&self) -> DatasetId {
+        DatasetId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotone_and_unique() {
+        let g = IdGen::new();
+        let a = g.next_dataset();
+        let b = g.next_dataset();
+        assert!(a < b);
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "ds:0");
+    }
+}

@@ -1,0 +1,285 @@
+//! A JSON-like document tree.
+//!
+//! Semi-structured data (JSON/XML documents, nested logs) is represented as
+//! [`Json`] values. The document store, the GEMMS tree-structure inference,
+//! schema-evolution tracking and the personal-data-lake flattening all
+//! operate on this tree. Parsing/serialization lives in `lake-formats`.
+
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value. Objects use a `BTreeMap` so traversal order (and therefore
+/// every downstream fingerprint) is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true`/`false`
+    Bool(bool),
+    /// Numbers are kept as `f64` (integral values render without a dot).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list.
+    Array(Vec<Json>),
+    /// An object with sorted keys.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Shorthand string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand object constructor from pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Fetch `key` from an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Navigate a dotted path such as `user.address.city`. Array elements
+    /// are addressed by numeric segments (`items.0.name`).
+    pub fn path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = match cur {
+                Json::Object(m) => m.get(seg)?,
+                Json::Array(a) => a.get(seg.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// `true` for `Json::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Convert a scalar `Json` into a lake [`Value`]; containers become
+    /// their rendered text (schema-on-read flattening keeps nested payloads
+    /// queryable as opaque strings until they are unnested).
+    pub fn to_value(&self) -> Value {
+        match self {
+            Json::Null => Value::Null,
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.is_finite() && n.abs() < 9e15 {
+                    Value::Int(*n as i64)
+                } else {
+                    Value::Float(*n)
+                }
+            }
+            Json::Str(s) => Value::Str(s.clone()),
+            other => Value::Str(other.to_string()),
+        }
+    }
+
+    /// Flatten the document into `(dotted_path, scalar)` pairs, the
+    /// representation used when unnesting documents into relations
+    /// (Juneau-style) and when inferring document schemata.
+    pub fn flatten(&self) -> Vec<(String, Value)> {
+        let mut out = Vec::new();
+        self.flatten_into("", &mut out);
+        out
+    }
+
+    fn flatten_into(&self, prefix: &str, out: &mut Vec<(String, Value)>) {
+        match self {
+            Json::Object(m) => {
+                for (k, v) in m {
+                    let p = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                    v.flatten_into(&p, out);
+                }
+            }
+            Json::Array(a) => {
+                for (i, v) in a.iter().enumerate() {
+                    let p = if prefix.is_empty() { i.to_string() } else { format!("{prefix}.{i}") };
+                    v.flatten_into(&p, out);
+                }
+            }
+            scalar => out.push((prefix.to_string(), scalar.to_value())),
+        }
+    }
+
+    /// Total number of scalar leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Json::Object(m) => m.values().map(Json::leaf_count).sum(),
+            Json::Array(a) => a.iter().map(Json::leaf_count).sum(),
+            _ => 1,
+        }
+    }
+
+    /// Maximum nesting depth (scalars have depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            Json::Object(m) => 1 + m.values().map(Json::depth).max().unwrap_or(0),
+            Json::Array(a) => 1 + a.iter().map(Json::depth).max().unwrap_or(0),
+            _ => 0,
+        }
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    /// Canonical compact serialization (sorted object keys).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_json(self, &mut s);
+        f.write_str(&s)
+    }
+}
+
+fn write_json(j: &Json, out: &mut String) {
+    match j {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.is_finite() && n.abs() < 9e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Json::Str(s) => escape(s, out),
+        Json::Array(a) => {
+            out.push('[');
+            for (i, v) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(v, out);
+            }
+            out.push(']');
+        }
+        Json::Object(m) => {
+            out.push('{');
+            for (i, (k, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape(k, out);
+                out.push(':');
+                write_json(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Json {
+        Json::obj(vec![
+            ("name", Json::str("ada")),
+            (
+                "address",
+                Json::obj(vec![("city", Json::str("delft")), ("zip", Json::Num(2628.0))]),
+            ),
+            ("tags", Json::Array(vec![Json::str("a"), Json::str("b")])),
+        ])
+    }
+
+    #[test]
+    fn path_navigation() {
+        let d = doc();
+        assert_eq!(d.path("address.city").unwrap().as_str(), Some("delft"));
+        assert_eq!(d.path("tags.1").unwrap().as_str(), Some("b"));
+        assert!(d.path("address.street").is_none());
+        assert!(d.path("tags.9").is_none());
+    }
+
+    #[test]
+    fn flatten_produces_dotted_paths() {
+        let d = doc();
+        let flat = d.flatten();
+        assert!(flat.contains(&("address.city".to_string(), Value::str("delft"))));
+        assert!(flat.contains(&("tags.0".to_string(), Value::str("a"))));
+        assert_eq!(flat.len(), d.leaf_count());
+    }
+
+    #[test]
+    fn depth_and_leaves() {
+        let d = doc();
+        assert_eq!(d.depth(), 2);
+        assert_eq!(d.leaf_count(), 5);
+        assert_eq!(Json::Null.depth(), 0);
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        let d = Json::obj(vec![("b", Json::Num(1.0)), ("a", Json::Bool(true))]);
+        assert_eq!(d.to_string(), r#"{"a":true,"b":1}"#);
+    }
+
+    #[test]
+    fn display_escapes() {
+        assert_eq!(Json::str("a\"b\n").to_string(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn scalar_to_value() {
+        assert_eq!(Json::Num(3.0).to_value(), Value::Int(3));
+        assert_eq!(Json::Num(3.5).to_value(), Value::Float(3.5));
+        assert_eq!(Json::Null.to_value(), Value::Null);
+    }
+}

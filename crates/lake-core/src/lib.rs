@@ -1,0 +1,31 @@
+//! # lake-core
+//!
+//! Foundation types for the `rustlake` data-lake platform: the dynamic
+//! [`Value`]/[`DataType`] system, [`Schema`]s, columnar [`Table`]s,
+//! JSON-like [`Json`] documents, [`PropertyGraph`]s, the [`Dataset`]
+//! abstraction that unifies them, shared error types, and deterministic
+//! synthetic-data generators used by tests and by the benchmark harness
+//! that regenerates the survey's tables.
+//!
+//! Everything in the platform is built on top of this crate; it has no
+//! dependency on any storage or algorithm crate.
+
+pub mod dataset;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod json;
+pub mod schema;
+pub mod stats;
+pub mod synth;
+pub mod table;
+pub mod value;
+
+pub use dataset::{Dataset, DatasetKind, DatasetMeta};
+pub use error::{LakeError, Result};
+pub use graph::{EdgeId, NodeId, PropertyGraph};
+pub use ids::DatasetId;
+pub use json::Json;
+pub use schema::{Field, Schema};
+pub use table::{Column, Row, Table};
+pub use value::{DataType, Value};

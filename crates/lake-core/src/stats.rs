@@ -1,0 +1,139 @@
+//! Small numeric statistics used by profilers and discovery features.
+
+/// Summary statistics of a numeric sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericSummary {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl NumericSummary {
+    /// Compute the summary; returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<NumericSummary> {
+        if values.is_empty() {
+            return None;
+        }
+        let count = values.len();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = sum / count as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Some(NumericSummary { count, min, max, mean, std_dev: var.sqrt() })
+    }
+}
+
+/// Jaccard similarity of two sets given their sizes and intersection size.
+pub fn jaccard_from_counts(a: usize, b: usize, inter: usize) -> f64 {
+    let union = a + b - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Exact Jaccard similarity of two iterables of hashable items.
+pub fn jaccard<I: std::hash::Hash + Eq + Clone>(a: &[I], b: &[I]) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<&I> = a.iter().collect();
+    let sb: HashSet<&I> = b.iter().collect();
+    let inter = sa.intersection(&sb).count();
+    jaccard_from_counts(sa.len(), sb.len(), inter)
+}
+
+/// Cosine similarity of two dense vectors (0 when either is zero).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for i in 0..n {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Euclidean distance of two dense vectors (missing dimensions count as 0).
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().max(b.len());
+    let mut s = 0.0;
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0.0);
+        let y = b.get(i).copied().unwrap_or(0.0);
+        s += (x - y) * (x - y);
+    }
+    s.sqrt()
+}
+
+/// Harmonic mean of precision and recall; 0 when both are 0.
+pub fn f1(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = NumericSummary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!(NumericSummary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn jaccard_values() {
+        assert_eq!(jaccard(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(jaccard::<i32>(&[], &[]), 0.0);
+        assert_eq!(jaccard(&[1], &[1]), 1.0);
+        // Duplicates collapse to sets.
+        assert_eq!(jaccard(&[1, 1, 2], &[2, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn cosine_values() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_pads_short_vectors() {
+        assert_eq!(euclidean(&[3.0], &[0.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn f1_balance() {
+        assert_eq!(f1(0.0, 0.0), 0.0);
+        assert!((f1(0.5, 0.5) - 0.5).abs() < 1e-12);
+        assert!((f1(1.0, 0.5) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! Brackenbury et al.: draining the data swamp with similarity-based file
+//! clustering and a human-in-the-loop queue (§6.2.1).
+//!
+//! "To find joinable datasets, it measures the similarity of files … and
+//! considers approximate matches in terms of data values, schemata and
+//! descriptive metadata … For measuring the similarity of the files and
+//! clustering them, it computes the Jaccard similarity between file paths
+//! using MinHash and LSH. The difference is that when the algorithms alone
+//! cannot provide reliable suggestions, it also includes humans in the
+//! loop."
+//!
+//! Three similarity facets per table pair — values, schema, descriptive
+//! metadata (here: tokenized table names standing in for file paths) —
+//! are averaged; confident pairs (score far from the decision boundary)
+//! are auto-decided, uncertain ones land in a [`ReviewQueue`] for a human
+//! curator, whose verdicts override the automatic score.
+
+use crate::corpus::TableCorpus;
+use crate::{DiscoverySystem, SystemInfo};
+use lake_core::stats::jaccard;
+use lake_index::tfidf::tokenize_identifier;
+use std::collections::HashMap;
+
+/// A pair awaiting human review (tables by corpus index, `a < b`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingPair {
+    /// First table.
+    pub a: usize,
+    /// Second table.
+    pub b: usize,
+    /// The ambiguous automatic score.
+    pub score: f64,
+}
+
+/// The human-in-the-loop review queue.
+#[derive(Debug, Clone, Default)]
+pub struct ReviewQueue {
+    pending: Vec<PendingPair>,
+    verdicts: HashMap<(usize, usize), bool>,
+}
+
+impl ReviewQueue {
+    /// Pairs still awaiting review.
+    pub fn pending(&self) -> &[PendingPair] {
+        &self.pending
+    }
+
+    /// Record a human verdict for a pair.
+    pub fn decide(&mut self, a: usize, b: usize, related: bool) {
+        let key = (a.min(b), a.max(b));
+        self.verdicts.insert(key, related);
+        self.pending.retain(|p| (p.a, p.b) != key);
+    }
+
+    /// The verdict for a pair, if one was given.
+    pub fn verdict(&self, a: usize, b: usize) -> Option<bool> {
+        self.verdicts.get(&(a.min(b), a.max(b))).copied()
+    }
+}
+
+/// Configuration: the uncertainty band that routes pairs to humans.
+#[derive(Debug, Clone, Copy)]
+pub struct BrackenburyConfig {
+    /// Scores below this are auto-rejected.
+    pub low: f64,
+    /// Scores above this are auto-accepted.
+    pub high: f64,
+}
+
+impl Default for BrackenburyConfig {
+    fn default() -> Self {
+        BrackenburyConfig { low: 0.15, high: 0.5 }
+    }
+}
+
+/// The Brackenbury et al. system.
+#[derive(Debug, Default)]
+pub struct Brackenbury {
+    /// Configuration.
+    pub config: BrackenburyConfig,
+    /// The review queue populated during [`DiscoverySystem::build`].
+    pub queue: ReviewQueue,
+    scores: HashMap<(usize, usize), f64>,
+}
+
+impl Brackenbury {
+    /// Combined file-similarity score of two tables.
+    pub fn file_similarity(&self, corpus: &TableCorpus, a: usize, b: usize) -> f64 {
+        // Facet 1: data values (max column-domain Jaccard estimate).
+        let values = corpus
+            .table_profiles(a)
+            .flat_map(|pa| corpus.table_profiles(b).map(move |pb| pa.jaccard_est(pb)))
+            .fold(0.0f64, f64::max);
+        // Facet 2: schema (attribute-name Jaccard).
+        let na: Vec<&str> = corpus.table_profiles(a).map(|p| p.name.as_str()).collect();
+        let nb: Vec<&str> = corpus.table_profiles(b).map(|p| p.name.as_str()).collect();
+        let schema = jaccard(&na, &nb);
+        // Facet 3: descriptive metadata (tokenized table names ≈ paths).
+        let ta = tokenize_identifier(&corpus.tables()[a].name);
+        let tb = tokenize_identifier(&corpus.tables()[b].name);
+        let meta = jaccard(&ta, &tb);
+        (values + schema + meta) / 3.0
+    }
+
+    /// Cluster all tables by file similarity at `cut` (1 − similarity
+    /// distance), the swamp-draining overview.
+    pub fn cluster(&self, corpus: &TableCorpus, cut: f64) -> Vec<usize> {
+        let items: Vec<usize> = (0..corpus.len()).collect();
+        lake_ml::cluster::agglomerative_by(&items, cut, |&a, &b| {
+            1.0 - self.file_similarity(corpus, a, b)
+        })
+    }
+}
+
+impl DiscoverySystem for Brackenbury {
+    fn info(&self) -> SystemInfo {
+        SystemInfo {
+            name: "Brackenbury et al.",
+            criteria: vec![
+                "Instance value overlap",
+                "Attribute name",
+                "Semantics",
+                "Descriptive metadata",
+            ],
+            metrics: vec!["Jaccard similarity (MinHash)"],
+            technique: vec!["-"],
+        }
+    }
+
+    fn build(&mut self, corpus: &TableCorpus) {
+        self.scores.clear();
+        self.queue = ReviewQueue::default();
+        for a in 0..corpus.len() {
+            for b in a + 1..corpus.len() {
+                let s = self.file_similarity(corpus, a, b);
+                self.scores.insert((a, b), s);
+                if s > self.config.low && s < self.config.high {
+                    self.queue.pending.push(PendingPair { a, b, score: s });
+                }
+            }
+        }
+    }
+
+    fn top_k_related(&self, corpus: &TableCorpus, query: usize, k: usize) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = (0..corpus.len())
+            .filter(|&t| t != query)
+            .filter_map(|t| {
+                let key = (query.min(t), query.max(t));
+                let auto = self.scores.get(&key).copied()?;
+                // Human verdicts override the automatic score.
+                let score = match self.queue.verdict(query, t) {
+                    Some(true) => 1.0,
+                    Some(false) => return None,
+                    None => {
+                        if auto <= self.config.low {
+                            return None;
+                        }
+                        auto
+                    }
+                };
+                Some((t, score))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::synth::{generate_lake, LakeGenConfig};
+
+    fn setup() -> (TableCorpus, lake_core::synth::GroundTruth, Brackenbury) {
+        let lake = generate_lake(&LakeGenConfig::default());
+        let corpus = TableCorpus::new(lake.tables);
+        let mut b = Brackenbury::default();
+        b.build(&corpus);
+        (corpus, lake.truth, b)
+    }
+
+    #[test]
+    fn group_members_score_above_noise() {
+        let (corpus, _, b) = setup();
+        let q = corpus.table_index("g0_t0").unwrap();
+        let sib = corpus.table_index("g0_t1").unwrap();
+        let noise = corpus.table_index("noise_t0").unwrap();
+        assert!(
+            b.file_similarity(&corpus, q, sib) > b.file_similarity(&corpus, q, noise),
+            "sibling should outscore noise"
+        );
+    }
+
+    #[test]
+    fn uncertain_pairs_enter_review_queue() {
+        let (_, _, b) = setup();
+        assert!(!b.queue.pending().is_empty(), "synthetic lake should have ambiguous pairs");
+    }
+
+    #[test]
+    fn human_verdicts_override_scores() {
+        let (corpus, _, mut b) = setup();
+        let q = corpus.table_index("g0_t0").unwrap();
+        let noise = corpus.table_index("noise_t0").unwrap();
+        // Force-accept an unlikely pair.
+        b.queue.decide(q, noise, true);
+        let top = b.top_k_related(&corpus, q, 1);
+        assert_eq!(top[0], (noise, 1.0));
+        // Force-reject the best pair.
+        let sib = corpus.table_index("g0_t1").unwrap();
+        b.queue.decide(q, sib, false);
+        assert!(b.top_k_related(&corpus, q, 10).iter().all(|&(t, _)| t != sib));
+    }
+
+    #[test]
+    fn clustering_groups_relatives() {
+        let (corpus, truth, b) = setup();
+        let assign = b.cluster(&corpus, 0.7);
+        let q = corpus.table_index("g0_t0").unwrap();
+        let sib = corpus.table_index("g0_t1").unwrap();
+        assert_eq!(assign[q], assign[sib]);
+        let _ = truth;
+    }
+
+    #[test]
+    fn top_k_finds_relatives() {
+        let (corpus, truth, b) = setup();
+        let q = corpus.table_index("g3_t0").unwrap();
+        let top = b.top_k_related(&corpus, q, 2);
+        let hits = top
+            .iter()
+            .filter(|(t, _)| truth.tables_related("g3_t0", &corpus.tables()[*t].name))
+            .count();
+        assert!(hits >= 1, "{top:?}");
+    }
+}

@@ -1,0 +1,253 @@
+//! The shared table corpus and column profiles all discovery systems
+//! consume.
+//!
+//! Profiling happens once per corpus: every column gets its text domain,
+//! MinHash signature, tokenized name, format patterns, and numeric sample.
+//! Individual systems combine these raw profiles in their own ways
+//! (Table 3's "relatedness criteria").
+
+use lake_core::{DataType, Table};
+use lake_index::minhash::{MinHash, MinHasher};
+use lake_index::tfidf::tokenize_identifier;
+use std::collections::BTreeSet;
+
+/// A column addressed by table and column index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Index of the table in the corpus.
+    pub table: usize,
+    /// Index of the column within the table.
+    pub column: usize,
+}
+
+/// A profiled column.
+#[derive(Debug, Clone)]
+pub struct ColumnProfile {
+    /// Where the column lives.
+    pub at: ColumnRef,
+    /// Column name.
+    pub name: String,
+    /// Tokenized name (for TF-IDF / name similarity).
+    pub name_tokens: Vec<String>,
+    /// Inferred type.
+    pub dtype: DataType,
+    /// Distinct rendered non-null values.
+    pub domain: BTreeSet<String>,
+    /// MinHash signature of the domain.
+    pub signature: MinHash,
+    /// Numeric values (empty for textual columns).
+    pub numeric: Vec<f64>,
+    /// Number of nulls.
+    pub nulls: usize,
+    /// Total rows.
+    pub rows: usize,
+    /// Whether the column is a key candidate (all non-null values unique).
+    pub unique: bool,
+}
+
+impl ColumnProfile {
+    /// Jaccard estimate against another profile via signatures.
+    pub fn jaccard_est(&self, other: &ColumnProfile) -> f64 {
+        self.signature.jaccard(&other.signature)
+    }
+
+    /// Exact domain overlap size.
+    pub fn overlap(&self, other: &ColumnProfile) -> usize {
+        self.domain.intersection(&other.domain).count()
+    }
+
+    /// Exact Jaccard of domains.
+    pub fn jaccard_exact(&self, other: &ColumnProfile) -> f64 {
+        let inter = self.overlap(other);
+        let union = self.domain.len() + other.domain.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+/// Standard signature length shared by all systems (32 bands × 4 rows).
+pub const SIGNATURE_LEN: usize = 128;
+/// Shared MinHash seed so signatures are comparable across systems.
+pub const SIGNATURE_SEED: u64 = 0xDA7A_1A6E;
+
+/// A profiled table corpus.
+#[derive(Debug, Clone)]
+pub struct TableCorpus {
+    tables: Vec<Table>,
+    profiles: Vec<ColumnProfile>,
+    hasher: MinHasher,
+}
+
+impl TableCorpus {
+    /// Profile a set of tables.
+    pub fn new(tables: Vec<Table>) -> TableCorpus {
+        let hasher = MinHasher::new(SIGNATURE_LEN, SIGNATURE_SEED);
+        let mut profiles = Vec::new();
+        for (ti, t) in tables.iter().enumerate() {
+            for (ci, col) in t.columns().iter().enumerate() {
+                let domain = col.text_domain();
+                let signature = hasher.signature(domain.iter().map(String::as_str));
+                profiles.push(ColumnProfile {
+                    at: ColumnRef { table: ti, column: ci },
+                    name: col.name.clone(),
+                    name_tokens: tokenize_identifier(&col.name),
+                    dtype: col.inferred_type(),
+                    numeric: col.numeric_values(),
+                    nulls: col.null_count(),
+                    rows: col.len(),
+                    unique: col.is_unique(),
+                    domain,
+                    signature,
+                });
+            }
+        }
+        TableCorpus { tables, profiles, hasher }
+    }
+
+    /// The tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when the corpus has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// All column profiles, in `(table, column)` order.
+    pub fn profiles(&self) -> &[ColumnProfile] {
+        &self.profiles
+    }
+
+    /// Profiles of one table's columns.
+    pub fn table_profiles(&self, table: usize) -> impl Iterator<Item = &ColumnProfile> {
+        self.profiles.iter().filter(move |p| p.at.table == table)
+    }
+
+    /// Profile of a specific column.
+    pub fn profile(&self, at: ColumnRef) -> Option<&ColumnProfile> {
+        self.profiles.iter().find(|p| p.at == at)
+    }
+
+    /// Index of the profile for a column in the flat profile list.
+    pub fn profile_index(&self, at: ColumnRef) -> Option<usize> {
+        self.profiles.iter().position(|p| p.at == at)
+    }
+
+    /// Table index by name.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+
+    /// The shared MinHasher (for systems that update signatures).
+    pub fn hasher(&self) -> &MinHasher {
+        &self.hasher
+    }
+
+    /// Aggregate column-level scores `(profile_idx, score)` into
+    /// table-level top-k: each candidate table takes its *maximum* column
+    /// score; the query table is excluded.
+    pub fn aggregate_to_tables(
+        &self,
+        query_table: usize,
+        column_scores: impl IntoIterator<Item = (usize, f64)>,
+        k: usize,
+    ) -> Vec<(usize, f64)> {
+        let mut best: Vec<Option<f64>> = vec![None; self.tables.len()];
+        for (pi, score) in column_scores {
+            let t = self.profiles[pi].at.table;
+            if t == query_table {
+                continue;
+            }
+            if best[t].map_or(true, |b| score > b) {
+                best[t] = Some(score);
+            }
+        }
+        let mut out: Vec<(usize, f64)> = best
+            .into_iter()
+            .enumerate()
+            .filter_map(|(t, s)| s.map(|s| (t, s)))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::Value;
+
+    fn corpus() -> TableCorpus {
+        let t1 = Table::from_rows(
+            "orders",
+            &["customer_id", "total"],
+            vec![
+                vec![Value::str("c1"), Value::Float(10.0)],
+                vec![Value::str("c2"), Value::Float(20.0)],
+            ],
+        )
+        .unwrap();
+        let t2 = Table::from_rows(
+            "customers",
+            &["customer_id", "city"],
+            vec![
+                vec![Value::str("c1"), Value::str("delft")],
+                vec![Value::str("c3"), Value::str("paris")],
+            ],
+        )
+        .unwrap();
+        TableCorpus::new(vec![t1, t2])
+    }
+
+    #[test]
+    fn profiles_cover_every_column() {
+        let c = corpus();
+        assert_eq!(c.profiles().len(), 4);
+        let p = c.profile(ColumnRef { table: 0, column: 0 }).unwrap();
+        assert_eq!(p.name, "customer_id");
+        assert_eq!(p.name_tokens, vec!["customer", "id"]);
+        assert!(p.unique);
+        assert_eq!(p.domain.len(), 2);
+        let total = c.profile(ColumnRef { table: 0, column: 1 }).unwrap();
+        assert_eq!(total.numeric, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn exact_and_estimated_overlap() {
+        let c = corpus();
+        let a = c.profile(ColumnRef { table: 0, column: 0 }).unwrap();
+        let b = c.profile(ColumnRef { table: 1, column: 0 }).unwrap();
+        assert_eq!(a.overlap(b), 1);
+        assert!((a.jaccard_exact(b) - 1.0 / 3.0).abs() < 1e-9);
+        // Estimate should be in the right ballpark for tiny sets.
+        assert!(a.jaccard_est(b) > 0.0);
+    }
+
+    #[test]
+    fn aggregation_takes_max_per_table_and_excludes_query() {
+        let c = corpus();
+        // Profile indexes: 0,1 in table 0; 2,3 in table 1.
+        let scores = vec![(0, 0.9), (2, 0.5), (3, 0.8)];
+        let top = c.aggregate_to_tables(0, scores, 5);
+        assert_eq!(top, vec![(1, 0.8)]);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let c = corpus();
+        assert_eq!(c.table_index("customers"), Some(1));
+        assert_eq!(c.table_index("none"), None);
+        assert_eq!(c.table_profiles(1).count(), 2);
+        assert_eq!(c.profile_index(ColumnRef { table: 1, column: 1 }), Some(3));
+    }
+}

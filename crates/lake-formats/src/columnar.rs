@@ -1,0 +1,350 @@
+//! *parquet-lite*: a columnar binary table encoding with per-column
+//! dictionary encoding and min/max statistics.
+//!
+//! Layout (all integers varint unless noted):
+//!
+//! ```text
+//! magic "PQL1"
+//! table name | #rows | #columns
+//! per column:
+//!   name | encoding tag | stats(min,max,null_count,distinct) | payload
+//! ```
+//!
+//! Two encodings are chosen per column: *plain* (each value tagged) and
+//! *dictionary* (distinct values + varint codes) when the column repeats
+//! values. Column statistics are readable via [`read_stats`] without
+//! decoding payloads — exactly what lakehouse data skipping (§8.3) and
+//! catalog profiling need.
+
+use crate::varint::{get_f64, get_i64, get_str, get_u64, put_f64, put_i64, put_str, put_u64};
+use lake_core::{Column, LakeError, Result, Table, Value};
+use std::collections::BTreeMap;
+
+const MAGIC: &[u8; 4] = b"PQL1";
+
+/// Per-column statistics stored in the file and usable for data skipping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Minimum non-null value (None when all-null).
+    pub min: Option<Value>,
+    /// Maximum non-null value.
+    pub max: Option<Value>,
+    /// Number of nulls.
+    pub null_count: u64,
+    /// Number of distinct non-null values.
+    pub distinct: u64,
+}
+
+impl ColumnStats {
+    /// Compute stats for a column.
+    pub fn of(col: &Column) -> ColumnStats {
+        let non_null: Vec<&Value> = col.values.iter().filter(|v| !v.is_null()).collect();
+        ColumnStats {
+            name: col.name.clone(),
+            min: non_null.iter().min().map(|v| (*v).clone()),
+            max: non_null.iter().max().map(|v| (*v).clone()),
+            null_count: (col.values.len() - non_null.len()) as u64,
+            distinct: col.cardinality() as u64,
+        }
+    }
+
+    /// `true` if a predicate `column == v` can be ruled out by min/max.
+    pub fn can_skip_eq(&self, v: &Value) -> bool {
+        match (&self.min, &self.max) {
+            (Some(min), Some(max)) => v < min || v > max,
+            // All-null column can never equal a concrete value.
+            _ => !v.is_null(),
+        }
+    }
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            put_i64(out, *i);
+        }
+        Value::Float(f) => {
+            out.push(3);
+            put_f64(out, *f);
+        }
+        Value::Str(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+    }
+}
+
+fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    let Some(&tag) = buf.get(*pos) else {
+        return Err(LakeError::parse("truncated value"));
+    };
+    *pos += 1;
+    Ok(match tag {
+        0 => Value::Null,
+        1 => {
+            let Some(&b) = buf.get(*pos) else {
+                return Err(LakeError::parse("truncated bool"));
+            };
+            *pos += 1;
+            Value::Bool(b != 0)
+        }
+        2 => Value::Int(get_i64(buf, pos)?),
+        3 => Value::Float(get_f64(buf, pos)?),
+        4 => Value::Str(get_str(buf, pos)?),
+        t => return Err(LakeError::parse(format!("bad value tag {t}"))),
+    })
+}
+
+fn put_opt_value(out: &mut Vec<u8>, v: &Option<Value>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_value(out, v);
+        }
+    }
+}
+
+fn get_opt_value(buf: &[u8], pos: &mut usize) -> Result<Option<Value>> {
+    let Some(&tag) = buf.get(*pos) else {
+        return Err(LakeError::parse("truncated option"));
+    };
+    *pos += 1;
+    match tag {
+        0 => Ok(None),
+        1 => Ok(Some(get_value(buf, pos)?)),
+        t => Err(LakeError::parse(format!("bad option tag {t}"))),
+    }
+}
+
+const ENC_PLAIN: u8 = 0;
+const ENC_DICT: u8 = 1;
+
+/// Encode a table to parquet-lite bytes.
+pub fn encode(table: &Table) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_str(&mut out, &table.name);
+    put_u64(&mut out, table.num_rows() as u64);
+    put_u64(&mut out, table.num_columns() as u64);
+    for col in table.columns() {
+        put_str(&mut out, &col.name);
+        let stats = ColumnStats::of(col);
+        // Decide encoding: dictionary pays off when values repeat.
+        let use_dict = stats.distinct > 0 && (stats.distinct as usize) * 2 < col.values.len();
+        let mut payload = Vec::new();
+        if use_dict {
+            let mut dict: Vec<&Value> = Vec::new();
+            let mut code_of: BTreeMap<&Value, u64> = BTreeMap::new();
+            for v in &col.values {
+                if !code_of.contains_key(v) {
+                    code_of.insert(v, dict.len() as u64);
+                    dict.push(v);
+                }
+            }
+            put_u64(&mut payload, dict.len() as u64);
+            for v in &dict {
+                put_value(&mut payload, v);
+            }
+            for v in &col.values {
+                put_u64(&mut payload, code_of[v]);
+            }
+        } else {
+            for v in &col.values {
+                put_value(&mut payload, v);
+            }
+        }
+        out.push(if use_dict { ENC_DICT } else { ENC_PLAIN });
+        put_opt_value(&mut out, &stats.min);
+        put_opt_value(&mut out, &stats.max);
+        put_u64(&mut out, stats.null_count);
+        put_u64(&mut out, stats.distinct);
+        put_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+fn read_header(buf: &[u8]) -> Result<(String, usize, usize, usize)> {
+    if buf.len() < 4 || &buf[..4] != MAGIC {
+        return Err(LakeError::parse("not a parquet-lite buffer"));
+    }
+    let mut pos = 4;
+    let name = get_str(buf, &mut pos)?;
+    let rows = get_u64(buf, &mut pos)? as usize;
+    let cols = get_u64(buf, &mut pos)? as usize;
+    Ok((name, rows, cols, pos))
+}
+
+/// Decode a full table.
+pub fn decode(buf: &[u8]) -> Result<Table> {
+    let (name, rows, ncols, mut pos) = read_header(buf)?;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let cname = get_str(buf, &mut pos)?;
+        let Some(&enc) = buf.get(pos) else {
+            return Err(LakeError::parse("truncated column header"));
+        };
+        pos += 1;
+        let _min = get_opt_value(buf, &mut pos)?;
+        let _max = get_opt_value(buf, &mut pos)?;
+        let _nulls = get_u64(buf, &mut pos)?;
+        let _distinct = get_u64(buf, &mut pos)?;
+        let plen = get_u64(buf, &mut pos)? as usize;
+        let end = pos
+            .checked_add(plen)
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| LakeError::parse("truncated column payload"))?;
+        let payload = &buf[pos..end];
+        pos = end;
+        let mut p = 0;
+        let values = match enc {
+            ENC_PLAIN => {
+                let mut vs = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    vs.push(get_value(payload, &mut p)?);
+                }
+                vs
+            }
+            ENC_DICT => {
+                let dlen = get_u64(payload, &mut p)? as usize;
+                let mut dict = Vec::with_capacity(dlen);
+                for _ in 0..dlen {
+                    dict.push(get_value(payload, &mut p)?);
+                }
+                let mut vs = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    let code = get_u64(payload, &mut p)? as usize;
+                    let v = dict
+                        .get(code)
+                        .cloned()
+                        .ok_or_else(|| LakeError::parse("dictionary code out of range"))?;
+                    vs.push(v);
+                }
+                vs
+            }
+            t => return Err(LakeError::parse(format!("bad encoding tag {t}"))),
+        };
+        columns.push(Column::new(cname, values));
+    }
+    Table::from_columns(name, columns)
+}
+
+/// Read only the per-column statistics — no payload decoding.
+///
+/// This is the data-skipping entry point: the lakehouse consults file
+/// statistics to prune files before scanning them.
+pub fn read_stats(buf: &[u8]) -> Result<Vec<ColumnStats>> {
+    let (_, _, ncols, mut pos) = read_header(buf)?;
+    let mut stats = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = get_str(buf, &mut pos)?;
+        pos += 1; // encoding tag
+        let min = get_opt_value(buf, &mut pos)?;
+        let max = get_opt_value(buf, &mut pos)?;
+        let null_count = get_u64(buf, &mut pos)?;
+        let distinct = get_u64(buf, &mut pos)?;
+        let plen = get_u64(buf, &mut pos)? as usize;
+        pos = pos
+            .checked_add(plen)
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| LakeError::parse("truncated column payload"))?;
+        stats.push(ColumnStats { name, min, max, null_count, distinct });
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            "cities",
+            &["id", "city", "pop", "eu"],
+            vec![
+                vec![Value::Int(1), Value::str("berlin"), Value::Float(3.6), Value::Bool(true)],
+                vec![Value::Int(2), Value::str("berlin"), Value::Float(2.1), Value::Bool(true)],
+                vec![Value::Int(3), Value::str("delft"), Value::Null, Value::Bool(true)],
+                vec![Value::Int(4), Value::str("berlin"), Value::Float(1.3), Value::Bool(true)],
+                vec![Value::Int(5), Value::str("delft"), Value::Float(0.1), Value::Bool(true)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = sample();
+        let buf = encode(&t);
+        assert_eq!(decode(&buf).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = Table::empty("e");
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn stats_without_decoding() {
+        let t = sample();
+        let stats = read_stats(&encode(&t)).unwrap();
+        let pop = stats.iter().find(|s| s.name == "pop").unwrap();
+        assert_eq!(pop.min, Some(Value::Float(0.1)));
+        assert_eq!(pop.max, Some(Value::Float(3.6)));
+        assert_eq!(pop.null_count, 1);
+        assert_eq!(pop.distinct, 4);
+        let city = stats.iter().find(|s| s.name == "city").unwrap();
+        assert_eq!(city.distinct, 2);
+    }
+
+    #[test]
+    fn skip_eq_uses_minmax() {
+        let t = sample();
+        let stats = read_stats(&encode(&t)).unwrap();
+        let id = stats.iter().find(|s| s.name == "id").unwrap();
+        assert!(id.can_skip_eq(&Value::Int(99)));
+        assert!(!id.can_skip_eq(&Value::Int(3)));
+        assert!(id.can_skip_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn dictionary_encoding_is_chosen_and_smaller() {
+        // Highly repetitive column ⇒ dict encoding beats plain.
+        let reps: Vec<lake_core::Row> = (0..1000)
+            .map(|i| vec![Value::str(if i % 2 == 0 { "aaaaaaaaaa" } else { "bbbbbbbbbb" })])
+            .collect();
+        let t = Table::from_rows("r", &["x"], reps).unwrap();
+        let buf = encode(&t);
+        assert!(buf.len() < 1000 * 5, "dict should shrink: {}", buf.len());
+        assert_eq!(decode(&buf).unwrap(), t);
+    }
+
+    #[test]
+    fn corrupted_buffers_error_cleanly() {
+        let buf = encode(&sample());
+        assert!(decode(b"nope").is_err());
+        assert!(decode(&buf[..10]).is_err());
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn all_null_column_stats() {
+        let t = Table::from_rows("n", &["a"], vec![vec![Value::Null], vec![Value::Null]]).unwrap();
+        let stats = read_stats(&encode(&t)).unwrap();
+        assert_eq!(stats[0].min, None);
+        assert!(stats[0].can_skip_eq(&Value::Int(1)));
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+}

@@ -1,0 +1,273 @@
+//! CSV parsing and writing (RFC 4180-style, from scratch).
+//!
+//! Supports quoted fields with embedded delimiters/newlines/escaped quotes,
+//! configurable delimiters, delimiter sniffing, and schema-on-read type
+//! inference via [`lake_core::Value::parse_infer`].
+
+use lake_core::{LakeError, Result, Row, Table, Value};
+
+/// CSV parse options.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvOptions {
+    /// Field delimiter.
+    pub delimiter: char,
+    /// Whether the first record is a header.
+    pub has_header: bool,
+    /// Infer types (`true`) or keep every field a string (`false`).
+    pub infer_types: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { delimiter: ',', has_header: true, infer_types: true }
+    }
+}
+
+/// Split raw CSV text into records of string fields, honoring quotes.
+pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(LakeError::parse(format!(
+                            "unexpected quote inside unquoted field near record {}",
+                            records.len() + 1
+                        )));
+                    }
+                    in_quotes = true;
+                }
+                c if c == delimiter => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // Swallow CR of CRLF; stray CR is treated as newline.
+                    if chars.peek() == Some(&'\n') {
+                        continue;
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(LakeError::parse("unterminated quoted field"));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    // Drop completely empty trailing records (text ending in "\n\n").
+    while records.last().is_some_and(|r| r.len() == 1 && r[0].is_empty()) {
+        records.pop();
+    }
+    Ok(records)
+}
+
+/// Parse CSV text into a [`Table`].
+pub fn parse_table(name: &str, text: &str, opts: CsvOptions) -> Result<Table> {
+    let mut records = parse_records(text, opts.delimiter)?;
+    if records.is_empty() {
+        return Ok(Table::empty(name));
+    }
+    let header: Vec<String> = if opts.has_header {
+        records.remove(0)
+    } else {
+        (0..records[0].len()).map(|i| format!("col{i}")).collect()
+    };
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Row> = records
+        .into_iter()
+        .map(|rec| {
+            rec.into_iter()
+                .map(|f| if opts.infer_types { Value::parse_infer(&f) } else { Value::Str(f) })
+                .collect()
+        })
+        .collect();
+    let mut t = Table::from_rows(name, &header_refs, rows)?;
+    // Raw headers may collide; disambiguate like the schema does.
+    let mut schema = t.schema();
+    schema.dedup_names();
+    if schema.names() != t.schema().names() {
+        let renamed: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+        let cols = t
+            .columns()
+            .iter()
+            .zip(renamed)
+            .map(|(c, n)| lake_core::Column::new(n, c.values.clone()))
+            .collect();
+        t = Table::from_columns(name, cols)?;
+    }
+    Ok(t)
+}
+
+/// Guess the delimiter by scoring consistency of field counts across the
+/// first lines, for each candidate in `,;|\t`.
+pub fn sniff_delimiter(text: &str) -> char {
+    let candidates = [',', ';', '|', '\t'];
+    let mut best = (',', 0usize);
+    for &d in &candidates {
+        let Ok(records) = parse_records(text, d) else { continue };
+        let head: Vec<usize> = records.iter().take(10).map(Vec::len).collect();
+        if head.is_empty() {
+            continue;
+        }
+        let width = head[0];
+        if width < 2 {
+            continue;
+        }
+        let consistent = head.iter().filter(|&&w| w == width).count();
+        let score = consistent * width;
+        if score > best.1 {
+            best = (d, score);
+        }
+    }
+    best.0
+}
+
+/// Quote a field if it contains the delimiter, quotes, or newlines.
+fn quote_field(field: &str, delimiter: char) -> String {
+    if field.contains(delimiter) || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialize a [`Table`] to CSV text with a header row.
+pub fn write_table(table: &Table, delimiter: char) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .columns()
+        .iter()
+        .map(|c| quote_field(&c.name, delimiter))
+        .collect();
+    out.push_str(&header.join(&delimiter.to_string()));
+    out.push('\n');
+    for i in 0..table.num_rows() {
+        let row: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| quote_field(&c.values[i].render(), delimiter))
+            .collect();
+        out.push_str(&row.join(&delimiter.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::DataType;
+
+    #[test]
+    fn parses_simple_csv_with_types() {
+        let t = parse_table("t", "a,b,c\n1,x,2.5\n2,y,\n", CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        let s = t.schema();
+        assert_eq!(s.field("a").unwrap().dtype, DataType::Int);
+        assert_eq!(s.field("b").unwrap().dtype, DataType::Str);
+        assert_eq!(s.field("c").unwrap().dtype, DataType::Float);
+        assert_eq!(t.column("c").unwrap().values[1], Value::Null);
+    }
+
+    #[test]
+    fn quoted_fields_with_delimiters_and_newlines() {
+        let t = parse_table(
+            "t",
+            "name,notes\n\"smith, john\",\"line1\nline2\"\nplain,\"say \"\"hi\"\"\"\n",
+            CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column("name").unwrap().values[0], Value::str("smith, john"));
+        assert_eq!(t.column("notes").unwrap().values[0], Value::str("line1\nline2"));
+        assert_eq!(t.column("notes").unwrap().values[1], Value::str("say \"hi\""));
+    }
+
+    #[test]
+    fn crlf_and_trailing_newlines() {
+        let t = parse_table("t", "a,b\r\n1,2\r\n\n", CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn headerless_mode_names_columns() {
+        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let t = parse_table("t", "1,2\n3,4\n", opts).unwrap();
+        assert_eq!(t.column("col0").unwrap().values[1], Value::Int(3));
+    }
+
+    #[test]
+    fn no_inference_keeps_strings() {
+        let opts = CsvOptions { infer_types: false, ..CsvOptions::default() };
+        let t = parse_table("t", "a\n42\n", opts).unwrap();
+        assert_eq!(t.column("a").unwrap().values[0], Value::str("42"));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(parse_table("t", "a\n\"oops\n", CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn duplicate_headers_are_renamed() {
+        let t = parse_table("t", "a,a\n1,2\n", CsvOptions::default()).unwrap();
+        assert!(t.column("a").is_some());
+        assert!(t.column("a_2").is_some());
+    }
+
+    #[test]
+    fn sniffs_semicolon_and_tab() {
+        assert_eq!(sniff_delimiter("a;b;c\n1;2;3\n"), ';');
+        assert_eq!(sniff_delimiter("a\tb\n1\t2\n"), '\t');
+        assert_eq!(sniff_delimiter("a,b\n1,2\n"), ',');
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let t = parse_table(
+            "t",
+            "a,b\n1,\"x,y\"\n2,\"q\"\"z\"\n",
+            CsvOptions::default(),
+        )
+        .unwrap();
+        let text = write_table(&t, ',');
+        let t2 = parse_table("t", &text, CsvOptions::default()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_table() {
+        let t = parse_table("t", "", CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 0);
+    }
+}

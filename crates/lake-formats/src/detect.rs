@@ -1,0 +1,213 @@
+//! Format detection: the first step of ingestion (GEMMS "detects the
+//! format, then initiates a corresponding parser", §5.1).
+//!
+//! Detection combines the file extension (when available) with content
+//! sniffing, and falls back from structured to unstructured: JSON → XML →
+//! CSV → log → free text.
+
+use crate::{csv, json, xml};
+use lake_core::{Dataset, Result};
+
+/// Detected raw-data formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Comma/semicolon/tab-separated tabular text.
+    Csv,
+    /// A single JSON document.
+    Json,
+    /// JSON Lines (one document per line).
+    JsonLines,
+    /// XML document.
+    Xml,
+    /// Machine log (timestamped/structured lines, multi-line records).
+    Log,
+    /// Unstructured free text.
+    Text,
+    /// parquet-lite binary.
+    ParquetLite,
+    /// avro-lite binary.
+    AvroLite,
+}
+
+impl Format {
+    /// Canonical short name ("csv", "json", …) used in catalog metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Csv => "csv",
+            Format::Json => "json",
+            Format::JsonLines => "jsonl",
+            Format::Xml => "xml",
+            Format::Log => "log",
+            Format::Text => "text",
+            Format::ParquetLite => "pql",
+            Format::AvroLite => "avl",
+        }
+    }
+}
+
+/// Detect a format from an optional file name and the content itself.
+pub fn detect_format(file_name: Option<&str>, content: &[u8]) -> Format {
+    // Binary magics first — unambiguous.
+    if content.starts_with(b"PQL1") {
+        return Format::ParquetLite;
+    }
+    if content.starts_with(b"AVL1") {
+        return Format::AvroLite;
+    }
+    let ext = file_name
+        .and_then(|n| n.rsplit_once('.'))
+        .map(|(_, e)| e.to_ascii_lowercase());
+    let text = String::from_utf8_lossy(content);
+    let trimmed = text.trim_start();
+
+    if let Some(ext) = ext.as_deref() {
+        match ext {
+            "csv" | "tsv" => return Format::Csv,
+            "json" => {
+                return if looks_like_json_lines(&text) { Format::JsonLines } else { Format::Json }
+            }
+            "jsonl" | "ndjson" => return Format::JsonLines,
+            "xml" => return Format::Xml,
+            "log" => return Format::Log,
+            "txt" | "md" => {
+                // txt is a weak signal; still sniff structured content.
+            }
+            _ => {}
+        }
+    }
+
+    if trimmed.starts_with('{') || trimmed.starts_with('[') {
+        if looks_like_json_lines(&text) {
+            return Format::JsonLines;
+        }
+        if json::parse(&text).is_ok() {
+            return Format::Json;
+        }
+    }
+    if trimmed.starts_with('<') && xml::parse(&text).is_ok() {
+        return Format::Xml;
+    }
+    if looks_like_csv(&text) {
+        return Format::Csv;
+    }
+    if looks_like_log(&text) {
+        return Format::Log;
+    }
+    Format::Text
+}
+
+fn looks_like_json_lines(text: &str) -> bool {
+    let lines: Vec<&str> = text.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+    lines.len() >= 2 && lines.iter().take(5).all(|l| json::parse(l).is_ok())
+}
+
+fn looks_like_csv(text: &str) -> bool {
+    let delim = csv::sniff_delimiter(text);
+    let Ok(records) = csv::parse_records(text, delim) else {
+        return false;
+    };
+    if records.len() < 2 {
+        return false;
+    }
+    let w = records[0].len();
+    w >= 2 && records.iter().take(10).all(|r| r.len() == w)
+}
+
+fn looks_like_log(text: &str) -> bool {
+    // Heuristic: a majority of lines start with a digit (timestamps) or a
+    // bracketed tag, the shape DATAMARAN's inputs have.
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return false;
+    }
+    let hits = lines
+        .iter()
+        .filter(|l| {
+            let t = l.trim_start();
+            t.starts_with('[') || t.chars().next().is_some_and(|c| c.is_ascii_digit())
+        })
+        .count();
+    hits * 2 > lines.len()
+}
+
+/// Parse content in the detected (or caller-forced) format into a
+/// [`Dataset`], the ingestion tier's raw loading step.
+pub fn parse_dataset(name: &str, format: Format, content: &[u8]) -> Result<Dataset> {
+    let text = || String::from_utf8_lossy(content).into_owned();
+    Ok(match format {
+        Format::Csv => {
+            let t = text();
+            let delim = csv::sniff_delimiter(&t);
+            let opts = csv::CsvOptions { delimiter: delim, ..Default::default() };
+            Dataset::Table(csv::parse_table(name, &t, opts)?)
+        }
+        Format::Json => Dataset::Documents(vec![json::parse(&text())?]),
+        Format::JsonLines => Dataset::Documents(json::parse_lines(&text())?),
+        Format::Xml => Dataset::Documents(vec![xml::parse(&text())?]),
+        Format::Log => Dataset::Log(text().lines().map(str::to_string).collect()),
+        Format::Text => Dataset::Text(text()),
+        Format::ParquetLite => Dataset::Table(crate::columnar::decode(content)?),
+        Format::AvroLite => Dataset::Table(crate::rowenc::decode(content)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::{DatasetKind, Table, Value};
+
+    #[test]
+    fn detects_by_extension() {
+        assert_eq!(detect_format(Some("a.csv"), b"x,y\n1,2\n"), Format::Csv);
+        assert_eq!(detect_format(Some("a.xml"), b"<a/>"), Format::Xml);
+        assert_eq!(detect_format(Some("a.log"), b"whatever"), Format::Log);
+        assert_eq!(detect_format(Some("a.jsonl"), b"{}"), Format::JsonLines);
+    }
+
+    #[test]
+    fn detects_by_content() {
+        assert_eq!(detect_format(None, b"{\"a\": 1}"), Format::Json);
+        assert_eq!(detect_format(None, b"{\"a\":1}\n{\"a\":2}\n"), Format::JsonLines);
+        assert_eq!(detect_format(None, b"<root><x>1</x></root>"), Format::Xml);
+        assert_eq!(detect_format(None, b"a,b\n1,2\n3,4\n"), Format::Csv);
+        assert_eq!(
+            detect_format(None, b"2024-01-01 ERROR boom\n2024-01-02 INFO ok\n"),
+            Format::Log
+        );
+        assert_eq!(detect_format(None, b"Once upon a time."), Format::Text);
+    }
+
+    #[test]
+    fn binary_magics_win() {
+        let t = Table::from_rows("t", &["a"], vec![vec![Value::Int(1)]]).unwrap();
+        let pq = crate::columnar::encode(&t);
+        assert_eq!(detect_format(Some("t.csv"), &pq), Format::ParquetLite);
+        let av = crate::rowenc::encode(&t).unwrap();
+        assert_eq!(detect_format(None, &av), Format::AvroLite);
+    }
+
+    #[test]
+    fn parse_dataset_each_format() {
+        let d = parse_dataset("t", Format::Csv, b"a,b\n1,2\n").unwrap();
+        assert_eq!(d.kind(), DatasetKind::Table);
+        let d = parse_dataset("t", Format::Json, b"{\"x\": 1}").unwrap();
+        assert_eq!(d.kind(), DatasetKind::Documents);
+        let d = parse_dataset("t", Format::Log, b"l1\nl2\n").unwrap();
+        assert_eq!(d.record_count(), 2);
+        let d = parse_dataset("t", Format::Text, b"hello").unwrap();
+        assert_eq!(d.kind(), DatasetKind::Text);
+    }
+
+    #[test]
+    fn malformed_json_with_json_claim_errors() {
+        assert!(parse_dataset("t", Format::Json, b"{oops").is_err());
+    }
+
+    #[test]
+    fn semicolon_csv_parses_via_sniffing() {
+        let d = parse_dataset("t", Format::Csv, b"a;b\n1;2\n").unwrap();
+        let t = d.as_table().unwrap();
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.column("b").unwrap().values[0], Value::Int(2));
+    }
+}

@@ -1,0 +1,261 @@
+//! A pragmatic XML subset parser, mapping elements onto [`Json`] trees.
+//!
+//! Data lakes ingest XML sources (Constance, Ontario); for metadata
+//! extraction the platform needs the *structure* of such documents, not a
+//! validating XML processor. Supported: elements, attributes, text,
+//! self-closing tags, comments, the five predefined entities, and an
+//! optional XML declaration. Not supported: DTDs, CDATA, namespaces
+//! (prefixes are kept verbatim in names), processing instructions.
+//!
+//! Mapping: an element becomes an object with attributes under `@attr`
+//! keys, child elements under their tag names (repeated tags collapse into
+//! arrays), and text content under `#text`. Elements with only text become
+//! that string directly.
+
+use lake_core::{Json, LakeError, Result};
+use std::collections::BTreeMap;
+
+/// Parse an XML document; returns an object `{root_tag: mapped_content}`.
+pub fn parse(text: &str) -> Result<Json> {
+    let mut p = XmlParser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_misc();
+    let (tag, value) = p.element()?;
+    p.skip_misc();
+    if p.pos != p.bytes.len() {
+        return Err(LakeError::parse(format!("trailing content at byte {}", p.pos)));
+    }
+    let mut root = BTreeMap::new();
+    root.insert(tag, value);
+    Ok(Json::Object(root))
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, comments, and the `<?xml …?>` declaration.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(b"<?") {
+                match find(self.bytes, self.pos, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return,
+                }
+            } else if self.bytes[self.pos..].starts_with(b"<!--") {
+                match find(self.bytes, self.pos, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return,
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(LakeError::parse(format!("expected name at byte {start}")));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    /// Parse `<tag attr="v">…</tag>`; returns `(tag, mapped_value)`.
+    fn element(&mut self) -> Result<(String, Json)> {
+        if self.bytes.get(self.pos) != Some(&b'<') {
+            return Err(LakeError::parse(format!("expected '<' at byte {}", self.pos)));
+        }
+        self.pos += 1;
+        let tag = self.name()?;
+        let mut obj: BTreeMap<String, Json> = BTreeMap::new();
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'/') => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'>') {
+                        self.pos += 2;
+                        return Ok((tag, finish(obj, String::new())));
+                    }
+                    return Err(LakeError::parse("stray '/'"));
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr = self.name()?;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(LakeError::parse(format!("expected '=' after attribute {attr}")));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.bytes.get(self.pos).copied();
+                    if !matches!(quote, Some(b'"' | b'\'')) {
+                        return Err(LakeError::parse("attribute value must be quoted"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| Some(b) != quote) {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.bytes.len() {
+                        return Err(LakeError::parse("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    obj.insert(format!("@{attr}"), Json::Str(unescape(&raw)));
+                }
+                None => return Err(LakeError::parse("unterminated start tag")),
+            }
+        }
+
+        // Content: interleaved text and child elements.
+        let mut text = String::new();
+        loop {
+            if self.bytes[self.pos..].starts_with(b"<!--") {
+                match find(self.bytes, self.pos, b"-->") {
+                    Some(end) => {
+                        self.pos = end + 3;
+                        continue;
+                    }
+                    None => return Err(LakeError::parse("unterminated comment")),
+                }
+            }
+            if self.bytes[self.pos..].starts_with(b"</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != tag {
+                    return Err(LakeError::parse(format!("mismatched </{close}> for <{tag}>")));
+                }
+                self.skip_ws();
+                if self.bytes.get(self.pos) != Some(&b'>') {
+                    return Err(LakeError::parse("expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                return Ok((tag, finish(obj, text.trim().to_string())));
+            }
+            match self.bytes.get(self.pos) {
+                Some(b'<') => {
+                    let (child_tag, child_val) = self.element()?;
+                    insert_child(&mut obj, child_tag, child_val);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != b'<') {
+                        self.pos += 1;
+                    }
+                    text.push_str(&unescape(&String::from_utf8_lossy(&self.bytes[start..self.pos])));
+                }
+                None => return Err(LakeError::parse(format!("unterminated element <{tag}>"))),
+            }
+        }
+    }
+}
+
+/// Repeated child tags collapse into arrays.
+fn insert_child(obj: &mut BTreeMap<String, Json>, tag: String, val: Json) {
+    match obj.remove(&tag) {
+        None => {
+            obj.insert(tag, val);
+        }
+        Some(Json::Array(mut a)) => {
+            a.push(val);
+            obj.insert(tag, Json::Array(a));
+        }
+        Some(prev) => {
+            obj.insert(tag, Json::Array(vec![prev, val]));
+        }
+    }
+}
+
+/// Collapse `{#text-only}` elements into plain strings.
+fn finish(mut obj: BTreeMap<String, Json>, text: String) -> Json {
+    if obj.is_empty() {
+        return Json::Str(text);
+    }
+    if !text.is_empty() {
+        obj.insert("#text".to_string(), Json::Str(text));
+    }
+    Json::Object(obj)
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| from + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_text_element() {
+        let d = parse("<greeting>hello</greeting>").unwrap();
+        assert_eq!(d.path("greeting").unwrap().as_str(), Some("hello"));
+    }
+
+    #[test]
+    fn attributes_and_children() {
+        let d = parse(r#"<person id="7"><name>ada</name><city>delft</city></person>"#).unwrap();
+        assert_eq!(d.path("person.@id").unwrap().as_str(), Some("7"));
+        assert_eq!(d.path("person.name").unwrap().as_str(), Some("ada"));
+    }
+
+    #[test]
+    fn repeated_children_become_arrays() {
+        let d = parse("<list><item>a</item><item>b</item><item>c</item></list>").unwrap();
+        let items = d.path("list.item").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2].as_str(), Some("c"));
+    }
+
+    #[test]
+    fn self_closing_declaration_comments_entities() {
+        let d = parse("<?xml version=\"1.0\"?><!-- top --><a x=\"1 &amp; 2\"><b/><!-- in --></a>").unwrap();
+        assert_eq!(d.path("a.@x").unwrap().as_str(), Some("1 & 2"));
+        assert_eq!(d.path("a.b").unwrap().as_str(), Some(""));
+    }
+
+    #[test]
+    fn mixed_text_kept_under_text_key() {
+        let d = parse("<p>hi <b>there</b></p>").unwrap();
+        assert_eq!(d.path("p.#text").unwrap().as_str(), Some("hi"));
+        assert_eq!(d.path("p.b").unwrap().as_str(), Some("there"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["<a>", "<a></b>", "<a x=1></a>", "text", "<a></a><b></b>"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # lake-house
+//!
+//! The Lakehouse substrate (survey §8.3): "ACID table storage over cloud
+//! object stores" in the style of Delta Lake / Iceberg / Hudi —
+//! transaction management, indexing (min/max statistics), and metadata
+//! management layered over the plain object store.
+//!
+//! * [`log`] — the transaction log: ordered JSON commit entries written
+//!   with the object store's atomic put-if-absent, giving optimistic
+//!   concurrency; snapshots replay the log (from the latest checkpoint);
+//!   time travel reads any historical version.
+//! * [`table`] — [`table::LakeTable`]: an append/scan/compact table whose
+//!   data files are parquet-lite objects with per-column statistics used
+//!   for data skipping at scan time.
+
+pub mod log;
+pub mod table;
+
+pub use log::{Action, Snapshot, TxnLog};
+pub use table::LakeTable;

@@ -1,0 +1,250 @@
+//! Similarity-preserving text embeddings — the word2vec/fastText/BERT
+//! stand-ins (see the substitution table in DESIGN.md).
+//!
+//! Two encoders are provided:
+//!
+//! * [`HashedNgramEncoder`] — fastText-style: a string is the sum of
+//!   random (but deterministic, hash-seeded) unit vectors of its character
+//!   n-grams, L2-normalized. Morphologically similar strings land nearby.
+//!   Used by RNLIM and by ALITE's column encoding as the "pre-trained
+//!   language model" stand-in.
+//! * [`CooccurrenceEmbedder`] — word2vec-style: trained on the lake's own
+//!   corpus. Values that co-occur in the same row context get similar
+//!   vectors via PPMI weighting of a co-occurrence matrix followed by
+//!   random projection. This reproduces the *distributional hypothesis*
+//!   property D³L's embedding feature relies on: semantically related
+//!   values (appearing in similar row contexts) embed close together even
+//!   when they share no characters.
+
+use crate::qgram::qgrams;
+use lake_core::stats::cosine;
+use lake_core::value::fnv1a;
+use std::collections::HashMap;
+
+/// Deterministic pseudo-random unit-ish vector for a token hash.
+fn hash_vector(h: u64, dim: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(dim);
+    let mut state = h | 1;
+    for _ in 0..dim {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // Map to (-1, 1).
+        v.push((r >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0);
+    }
+    v
+}
+
+fn l2_normalize(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+/// A hashed character-n-gram sentence encoder (fastText stand-in).
+#[derive(Debug, Clone)]
+pub struct HashedNgramEncoder {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// n-gram size.
+    pub q: usize,
+}
+
+impl Default for HashedNgramEncoder {
+    fn default() -> Self {
+        HashedNgramEncoder { dim: 64, q: 3 }
+    }
+}
+
+impl HashedNgramEncoder {
+    /// An encoder with the given dimensionality and n-gram size.
+    pub fn new(dim: usize, q: usize) -> HashedNgramEncoder {
+        HashedNgramEncoder { dim, q }
+    }
+
+    /// Encode a string as an L2-normalized vector.
+    pub fn encode(&self, text: &str) -> Vec<f64> {
+        let mut v = vec![0.0; self.dim];
+        for gram in qgrams(&text.to_lowercase(), self.q) {
+            let hv = hash_vector(fnv1a(gram.as_bytes()), self.dim);
+            for (a, b) in v.iter_mut().zip(hv) {
+                *a += b;
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Encode a bag of strings (e.g. a column's values) as the normalized
+    /// mean of member encodings.
+    pub fn encode_bag<'a>(&self, items: impl IntoIterator<Item = &'a str>) -> Vec<f64> {
+        let mut v = vec![0.0; self.dim];
+        let mut n = 0usize;
+        for item in items {
+            for (a, b) in v.iter_mut().zip(self.encode(item)) {
+                *a += b;
+            }
+            n += 1;
+        }
+        if n > 0 {
+            l2_normalize(&mut v);
+        }
+        v
+    }
+}
+
+/// A corpus-trained co-occurrence embedder (word2vec stand-in).
+///
+/// Train with [`CooccurrenceEmbedder::train`] on contexts (e.g. the rows of
+/// every table in the lake: each row is one context, its rendered cell
+/// values are the tokens). Token vectors are the PPMI-weighted context
+/// profile randomly projected to `dim` dimensions.
+#[derive(Debug, Clone)]
+pub struct CooccurrenceEmbedder {
+    dim: usize,
+    vectors: HashMap<String, Vec<f64>>,
+}
+
+impl CooccurrenceEmbedder {
+    /// Train on an iterator of contexts (each context = co-occurring tokens).
+    pub fn train<'a, C>(contexts: C, dim: usize) -> CooccurrenceEmbedder
+    where
+        C: IntoIterator,
+        C::Item: IntoIterator<Item = &'a str>,
+    {
+        // Count pair co-occurrences and marginals.
+        let mut pair: HashMap<(String, String), f64> = HashMap::new();
+        let mut marginal: HashMap<String, f64> = HashMap::new();
+        let mut total = 0.0;
+        for ctx in contexts {
+            let toks: Vec<&str> = ctx.into_iter().collect();
+            for i in 0..toks.len() {
+                for j in 0..toks.len() {
+                    if i == j {
+                        continue;
+                    }
+                    *pair.entry((toks[i].to_string(), toks[j].to_string())).or_insert(0.0) += 1.0;
+                    total += 1.0;
+                }
+                *marginal.entry(toks[i].to_string()).or_insert(0.0) += (toks.len() - 1) as f64;
+            }
+        }
+        // PPMI-weighted random-projection vectors: v(w) = Σ_c ppmi(w,c) · r(c).
+        let mut vectors: HashMap<String, Vec<f64>> = HashMap::new();
+        if total > 0.0 {
+            for ((w, c), n_wc) in &pair {
+                let pmi = ((n_wc * total) / (marginal[w] * marginal[c])).ln();
+                if pmi <= 0.0 {
+                    continue;
+                }
+                let rc = hash_vector(fnv1a(c.as_bytes()), dim);
+                let v = vectors.entry(w.clone()).or_insert_with(|| vec![0.0; dim]);
+                for (a, b) in v.iter_mut().zip(rc) {
+                    *a += pmi * b;
+                }
+            }
+        }
+        for v in vectors.values_mut() {
+            l2_normalize(v);
+        }
+        CooccurrenceEmbedder { dim, vectors }
+    }
+
+    /// Vector of a token; zero vector if the token was never seen.
+    pub fn vector(&self, token: &str) -> Vec<f64> {
+        self.vectors.get(token).cloned().unwrap_or_else(|| vec![0.0; self.dim])
+    }
+
+    /// Cosine similarity of two tokens.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        cosine(&self.vector(a), &self.vector(b))
+    }
+
+    /// Normalized mean vector of a bag of tokens.
+    pub fn encode_bag<'a>(&self, items: impl IntoIterator<Item = &'a str>) -> Vec<f64> {
+        let mut v = vec![0.0; self.dim];
+        for item in items {
+            for (a, b) in v.iter_mut().zip(self.vector(item)) {
+                *a += b;
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ngram_encoder_is_similarity_preserving() {
+        let e = HashedNgramEncoder::default();
+        let sim_near = cosine(&e.encode("customer_id"), &e.encode("customer_ids"));
+        let sim_far = cosine(&e.encode("customer_id"), &e.encode("zebra"));
+        assert!(sim_near > 0.7, "{sim_near}");
+        assert!(sim_far < 0.4, "{sim_far}");
+    }
+
+    #[test]
+    fn ngram_encoder_is_deterministic_and_normalized() {
+        let e = HashedNgramEncoder::default();
+        let a = e.encode("delft");
+        assert_eq!(a, e.encode("delft"));
+        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+        // Case-insensitive.
+        assert_eq!(e.encode("Delft"), e.encode("delft"));
+    }
+
+    #[test]
+    fn bag_encoding_blends_members() {
+        let e = HashedNgramEncoder::default();
+        let bag = e.encode_bag(["red", "green", "blue"]);
+        assert!(cosine(&bag, &e.encode("red")) > cosine(&bag, &e.encode("engine")));
+    }
+
+    #[test]
+    fn cooccurrence_captures_distributional_similarity() {
+        // "rood" and "red" never share characters but occur in identical
+        // row contexts → the distributional hypothesis should bind them.
+        let contexts: Vec<Vec<&str>> = vec![
+            vec!["red", "car", "fast"],
+            vec!["rood", "car", "fast"],
+            vec!["red", "bike", "fast"],
+            vec!["rood", "bike", "fast"],
+            vec!["seven", "prime", "odd"],
+            vec!["eleven", "prime", "odd"],
+        ];
+        let emb = CooccurrenceEmbedder::train(contexts.iter().map(|c| c.iter().copied()), 32);
+        let related = emb.similarity("red", "rood");
+        let unrelated = emb.similarity("red", "seven");
+        assert!(related > unrelated, "related {related} vs unrelated {unrelated}");
+        assert!(related > 0.5, "{related}");
+    }
+
+    #[test]
+    fn unseen_token_is_zero_vector() {
+        let emb = CooccurrenceEmbedder::train(vec![vec!["a", "b"]], 16);
+        assert_eq!(emb.vector("zzz"), vec![0.0; 16]);
+        assert_eq!(emb.similarity("zzz", "a"), 0.0);
+        assert_eq!(emb.vocab_size(), 2);
+    }
+
+    #[test]
+    fn empty_training_is_safe() {
+        let emb = CooccurrenceEmbedder::train(Vec::<Vec<&str>>::new(), 8);
+        assert_eq!(emb.vocab_size(), 0);
+        assert_eq!(emb.vector("x").len(), 8);
+    }
+}

@@ -1,0 +1,199 @@
+//! A token → posting-list inverted index.
+//!
+//! "For returning top-k sets JOSIE has applied inverted indexes, which map
+//! between the sets and their distinct values" (§6.2.1). The index stores,
+//! for every distinct token, the sorted list of set ids containing it, and
+//! exposes posting-list lengths — the statistic JOSIE's cost model uses to
+//! decide whether reading a posting list or probing a candidate set is
+//! cheaper.
+
+use std::collections::HashMap;
+
+/// An inverted index over sets of string tokens.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<usize>>,
+    set_sizes: HashMap<usize, usize>,
+    /// Tokens per set, kept for probing (set id → sorted distinct tokens).
+    sets: HashMap<usize, Vec<String>>,
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    pub fn new() -> InvertedIndex {
+        InvertedIndex::default()
+    }
+
+    /// Index `tokens` as set `id` (duplicates are collapsed; replaces any
+    /// previous set with the same id).
+    pub fn insert(&mut self, id: usize, tokens: impl IntoIterator<Item = String>) {
+        if self.sets.contains_key(&id) {
+            self.remove(id);
+        }
+        let mut distinct: Vec<String> = tokens.into_iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        for tok in &distinct {
+            let list = self.postings.entry(tok.clone()).or_default();
+            match list.binary_search(&id) {
+                Ok(_) => {}
+                Err(pos) => list.insert(pos, id),
+            }
+        }
+        self.set_sizes.insert(id, distinct.len());
+        self.sets.insert(id, distinct);
+    }
+
+    /// Remove a set.
+    pub fn remove(&mut self, id: usize) {
+        let Some(tokens) = self.sets.remove(&id) else { return };
+        self.set_sizes.remove(&id);
+        for tok in tokens {
+            if let Some(list) = self.postings.get_mut(&tok) {
+                if let Ok(pos) = list.binary_search(&id) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.postings.remove(&tok);
+                }
+            }
+        }
+    }
+
+    /// Number of indexed sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Number of distinct tokens.
+    pub fn num_tokens(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The posting list for `token` (sorted set ids), empty if absent.
+    pub fn posting(&self, token: &str) -> &[usize] {
+        self.postings.get(token).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Posting-list length for `token` — the cost-model statistic.
+    pub fn posting_len(&self, token: &str) -> usize {
+        self.posting(token).len()
+    }
+
+    /// Size (distinct tokens) of set `id`.
+    pub fn set_size(&self, id: usize) -> usize {
+        self.set_sizes.get(&id).copied().unwrap_or(0)
+    }
+
+    /// The sorted distinct tokens of set `id` (empty if absent).
+    pub fn set_tokens(&self, id: usize) -> &[String] {
+        self.sets.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Exact overlap (intersection size) between a query token list and
+    /// set `id`, by merging sorted token lists.
+    pub fn overlap_with(&self, query_sorted: &[String], id: usize) -> usize {
+        let set = self.set_tokens(id);
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < query_sorted.len() && j < set.len() {
+            match query_sorted[i].cmp(&set[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Accumulate overlap counts for `query` across all indexed sets by
+    /// scanning posting lists — the "merge everything" baseline JOSIE's
+    /// cost model improves on. Returns `(set id, overlap)` sorted by
+    /// overlap descending.
+    pub fn overlap_counts(&self, query: impl IntoIterator<Item = String>) -> Vec<(usize, usize)> {
+        let mut distinct: Vec<String> = query.into_iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for tok in &distinct {
+            for &id in self.posting(tok) {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        }
+        let mut v: Vec<(usize, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    fn index() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.insert(1, toks(&["a", "b", "c"]));
+        ix.insert(2, toks(&["b", "c", "d"]));
+        ix.insert(3, toks(&["x", "y"]));
+        ix
+    }
+
+    #[test]
+    fn postings_are_sorted_and_complete() {
+        let ix = index();
+        assert_eq!(ix.posting("b"), &[1, 2]);
+        assert_eq!(ix.posting("x"), &[3]);
+        assert_eq!(ix.posting("zz"), &[] as &[usize]);
+        assert_eq!(ix.num_sets(), 3);
+        assert_eq!(ix.num_tokens(), 6);
+        assert_eq!(ix.posting_len("c"), 2);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut ix = InvertedIndex::new();
+        ix.insert(9, toks(&["a", "a", "b"]));
+        assert_eq!(ix.set_size(9), 2);
+        assert_eq!(ix.posting("a"), &[9]);
+    }
+
+    #[test]
+    fn overlap_counts_rank_by_intersection() {
+        let ix = index();
+        let res = ix.overlap_counts(toks(&["b", "c", "d"]));
+        assert_eq!(res[0], (2, 3));
+        assert_eq!(res[1], (1, 2));
+        assert!(!res.iter().any(|&(id, _)| id == 3));
+    }
+
+    #[test]
+    fn probe_overlap_matches_scan() {
+        let ix = index();
+        let mut q = toks(&["b", "c", "d"]);
+        q.sort();
+        assert_eq!(ix.overlap_with(&q, 2), 3);
+        assert_eq!(ix.overlap_with(&q, 1), 2);
+        assert_eq!(ix.overlap_with(&q, 3), 0);
+        assert_eq!(ix.overlap_with(&q, 99), 0);
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut ix = index();
+        ix.remove(2);
+        assert_eq!(ix.posting("d"), &[] as &[usize]);
+        assert_eq!(ix.posting("b"), &[1]);
+        assert_eq!(ix.num_sets(), 2);
+        // Replacement via same id.
+        ix.insert(1, toks(&["zz"]));
+        assert_eq!(ix.posting("a"), &[] as &[usize]);
+        assert_eq!(ix.posting("zz"), &[1]);
+    }
+}

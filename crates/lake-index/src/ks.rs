@@ -1,0 +1,89 @@
+//! The two-sample Kolmogorov–Smirnov statistic.
+//!
+//! Both D³L and RNLIM compare *numerical* attributes by distribution: "the
+//! Kolmogorov-Smirnov statistic" (§6.2.1, §6.2.3). The statistic is the
+//! maximum vertical distance between the two empirical CDFs; similarity is
+//! `1 - D`, so identically distributed samples score near 1.
+
+/// The two-sample KS statistic `D ∈ [0, 1]`. Returns 1.0 (maximal
+/// difference) when either sample is empty.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d.max((1.0 - (i as f64 / na)).abs().min(1.0))
+        .max((1.0 - (j as f64 / nb)).abs().min(1.0))
+        .min(1.0)
+}
+
+/// Distribution similarity `1 - D` used as a discovery feature.
+pub fn ks_similarity(a: &[f64], b: &[f64]) -> f64 {
+    1.0 - ks_statistic(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!(ks_statistic(&a, &a) < 1e-12);
+        assert!((ks_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_ranges_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [100.0, 200.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_distribution_scores_low() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a: Vec<f64> = (0..500).map(|_| rng.random::<f64>() * 10.0).collect();
+        let b: Vec<f64> = (0..500).map(|_| rng.random::<f64>() * 10.0).collect();
+        assert!(ks_statistic(&a, &b) < 0.12, "{}", ks_statistic(&a, &b));
+    }
+
+    #[test]
+    fn shifted_distribution_scores_high() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a: Vec<f64> = (0..500).map(|_| rng.random::<f64>()).collect();
+        let b: Vec<f64> = (0..500).map(|_| rng.random::<f64>() + 0.8).collect();
+        assert!(ks_statistic(&a, &b) > 0.6, "{}", ks_statistic(&a, &b));
+    }
+
+    #[test]
+    fn empty_samples_are_maximally_different() {
+        assert_eq!(ks_statistic(&[], &[1.0]), 1.0);
+        assert_eq!(ks_statistic(&[1.0], &[]), 1.0);
+        assert_eq!(ks_statistic(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = [1.0, 5.0, 2.0, 8.0];
+        let b = [3.0, 3.0, 7.0];
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Banded locality-sensitive hashing over MinHash signatures.
+//!
+//! "When two columns have their signatures indexed into the same bucket
+//! after hashing, an edge is created between corresponding nodes" (Aurum,
+//! §6.2.1). Signatures are split into `bands` bands of `rows` values; each
+//! band is hashed into a bucket table. Two items collide (become
+//! candidates) if *any* band matches, giving the classic S-curve
+//! probability `1 - (1 - s^rows)^bands` of surfacing a pair with Jaccard
+//! similarity `s`. This turns quadratic all-pairs search into near-linear
+//! candidate generation — the claim measured by experiment E1.
+
+use crate::minhash::MinHash;
+use lake_core::value::fnv1a;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// An LSH index mapping item ids (`usize`) to signature buckets.
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    bands: usize,
+    rows: usize,
+    /// One bucket table per band: band-hash → item ids.
+    tables: Vec<HashMap<u64, Vec<usize>>>,
+    /// Stored signatures for candidate verification and removal.
+    signatures: HashMap<usize, MinHash>,
+}
+
+impl LshIndex {
+    /// Create an index for signatures of length `bands * rows`.
+    pub fn new(bands: usize, rows: usize) -> LshIndex {
+        assert!(bands > 0 && rows > 0);
+        LshIndex {
+            bands,
+            rows,
+            tables: vec![HashMap::new(); bands],
+            signatures: HashMap::new(),
+        }
+    }
+
+    /// Expected signature length.
+    pub fn signature_len(&self) -> usize {
+        self.bands * self.rows
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    fn band_hash(&self, sig: &MinHash, band: usize) -> u64 {
+        let start = band * self.rows;
+        let mut bytes = Vec::with_capacity(self.rows * 8);
+        for v in &sig.values()[start..start + self.rows] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+
+    /// Insert (or replace) an item's signature.
+    pub fn insert(&mut self, id: usize, sig: MinHash) {
+        assert_eq!(sig.len(), self.signature_len(), "signature length mismatch");
+        if self.signatures.contains_key(&id) {
+            self.remove(id);
+        }
+        for band in 0..self.bands {
+            let h = self.band_hash(&sig, band);
+            self.tables[band].entry(h).or_default().push(id);
+        }
+        self.signatures.insert(id, sig);
+    }
+
+    /// Remove an item (Aurum's maintenance path: re-profile on change).
+    pub fn remove(&mut self, id: usize) {
+        let Some(sig) = self.signatures.remove(&id) else { return };
+        for band in 0..self.bands {
+            let h = self.band_hash(&sig, band);
+            if let Entry::Occupied(mut e) = self.tables[band].entry(h) {
+                e.get_mut().retain(|&x| x != id);
+                if e.get().is_empty() {
+                    e.remove();
+                }
+            }
+        }
+    }
+
+    /// The stored signature of `id`, if indexed.
+    pub fn signature(&self, id: usize) -> Option<&MinHash> {
+        self.signatures.get(&id)
+    }
+
+    /// Candidate ids colliding with `sig` in at least one band
+    /// (excluding nothing — the caller filters self-matches).
+    pub fn query(&self, sig: &MinHash) -> Vec<usize> {
+        assert_eq!(sig.len(), self.signature_len());
+        let mut seen = HashSet::new();
+        for band in 0..self.bands {
+            let h = self.band_hash(sig, band);
+            if let Some(bucket) = self.tables[band].get(&h) {
+                seen.extend(bucket.iter().copied());
+            }
+        }
+        let mut v: Vec<usize> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Candidates with their estimated Jaccard, filtered by `threshold`
+    /// and sorted by similarity descending (the verify-after-LSH step).
+    pub fn query_verified(&self, sig: &MinHash, threshold: f64) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = self
+            .query(sig)
+            .into_iter()
+            .filter_map(|id| {
+                let est = self.signatures[&id].jaccard(sig);
+                (est >= threshold).then_some((id, est))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Every candidate pair in the index (each pair once, `a < b`) — the
+    /// bulk EKG-construction path.
+    pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = HashSet::new();
+        for table in &self.tables {
+            for bucket in table.values() {
+                for i in 0..bucket.len() {
+                    for j in i + 1..bucket.len() {
+                        let (a, b) = (bucket[i].min(bucket[j]), bucket[i].max(bucket[j]));
+                        if a != b {
+                            pairs.insert((a, b));
+                        }
+                    }
+                }
+            }
+        }
+        let mut v: Vec<(usize, usize)> = pairs.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+
+    fn sig(h: &MinHasher, items: &[String]) -> MinHash {
+        h.signature(items.iter().map(String::as_str))
+    }
+
+    fn set(prefix: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    #[test]
+    fn similar_items_collide_dissimilar_do_not() {
+        let h = MinHasher::new(128, 1);
+        let mut idx = LshIndex::new(32, 4);
+        let base = set("v", 200);
+        let mut near = base.clone();
+        near.truncate(180);
+        near.extend(set("n", 20)); // J ≈ 180/220 ≈ 0.82
+        let far = set("z", 200);
+
+        idx.insert(0, sig(&h, &base));
+        idx.insert(1, sig(&h, &near));
+        idx.insert(2, sig(&h, &far));
+
+        let cands = idx.query(&sig(&h, &base));
+        assert!(cands.contains(&0));
+        assert!(cands.contains(&1), "near-duplicate must be a candidate");
+        assert!(!cands.contains(&2), "disjoint set must not collide");
+    }
+
+    #[test]
+    fn query_verified_ranks_by_similarity() {
+        let h = MinHasher::new(128, 1);
+        let mut idx = LshIndex::new(32, 4);
+        let base = set("v", 100);
+        let mut mid = base[..70].to_vec();
+        mid.extend(set("m", 30));
+        idx.insert(10, sig(&h, &base));
+        idx.insert(20, sig(&h, &mid));
+        let res = idx.query_verified(&sig(&h, &base), 0.3);
+        assert_eq!(res[0].0, 10);
+        assert_eq!(res[0].1, 1.0);
+        assert!(res.iter().any(|(id, _)| *id == 20));
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let h = MinHasher::new(64, 1);
+        let mut idx = LshIndex::new(16, 4);
+        let a = set("a", 50);
+        idx.insert(0, sig(&h, &a));
+        assert_eq!(idx.len(), 1);
+        idx.remove(0);
+        assert!(idx.is_empty());
+        assert!(idx.query(&sig(&h, &a)).is_empty());
+        // Re-insert with different content replaces cleanly.
+        idx.insert(0, sig(&h, &a));
+        idx.insert(0, sig(&h, &set("b", 50)));
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.query(&sig(&h, &set("b", 50))).is_empty());
+    }
+
+    #[test]
+    fn candidate_pairs_enumerates_once() {
+        let h = MinHasher::new(64, 1);
+        let mut idx = LshIndex::new(16, 4);
+        let base = set("v", 100);
+        idx.insert(1, sig(&h, &base));
+        idx.insert(2, sig(&h, &base));
+        idx.insert(3, sig(&h, &set("q", 100)));
+        let pairs = idx.candidate_pairs();
+        assert!(pairs.contains(&(1, 2)));
+        assert!(!pairs.contains(&(2, 1)));
+        assert!(!pairs.iter().any(|&(a, b)| a == b));
+    }
+
+    #[test]
+    #[should_panic(expected = "signature length mismatch")]
+    fn wrong_signature_length_panics() {
+        let h = MinHasher::new(10, 1);
+        let mut idx = LshIndex::new(16, 4);
+        idx.insert(0, h.signature(["x"]));
+    }
+}

@@ -1,0 +1,144 @@
+//! LSH Forest: a self-tuning variant of LSH (Bawa et al., cited as the
+//! survey's \[8\]) used by LSH Ensemble-style domain search.
+//!
+//! Instead of fixed-width bands, each of `trees` trees stores items keyed
+//! by the *prefix* of a per-tree permutation of the signature. Queries
+//! descend to the longest matching prefix and relax one level at a time
+//! until enough candidates are found — so no global similarity threshold
+//! needs tuning, mirroring how JOSIE motivates top-k over thresholds.
+
+use crate::minhash::MinHash;
+use std::collections::BTreeMap;
+
+/// A single prefix tree, stored as a sorted map from the full per-tree
+/// key sequence to item ids (prefix search via range scans).
+#[derive(Debug, Clone, Default)]
+struct Tree {
+    entries: BTreeMap<Vec<u64>, Vec<usize>>,
+}
+
+/// An LSH Forest over MinHash signatures.
+#[derive(Debug, Clone)]
+pub struct LshForest {
+    trees: Vec<Tree>,
+    depth: usize,
+}
+
+impl LshForest {
+    /// Build a forest of `trees` trees, each using `depth` signature
+    /// positions. Requires signatures of length ≥ `trees * depth`.
+    pub fn new(trees: usize, depth: usize) -> LshForest {
+        assert!(trees > 0 && depth > 0);
+        LshForest { trees: vec![Tree::default(); trees], depth }
+    }
+
+    /// Minimum signature length this forest can index.
+    pub fn required_signature_len(&self) -> usize {
+        self.trees.len() * self.depth
+    }
+
+    fn key(&self, sig: &MinHash, tree: usize) -> Vec<u64> {
+        let start = tree * self.depth;
+        sig.values()[start..start + self.depth].to_vec()
+    }
+
+    /// Insert an item.
+    pub fn insert(&mut self, id: usize, sig: &MinHash) {
+        assert!(sig.len() >= self.required_signature_len(), "signature too short");
+        for t in 0..self.trees.len() {
+            let key = self.key(sig, t);
+            self.trees[t].entries.entry(key).or_default().push(id);
+        }
+    }
+
+    /// Top-`k` candidates for `sig`: descend each tree to the deepest
+    /// matching prefix, then relax prefixes synchronously across trees
+    /// until ≥ `k` distinct candidates are collected (or the forest is
+    /// exhausted). Returned ids are deduplicated, ordered by the prefix
+    /// depth at which they first matched (deeper = more similar first).
+    pub fn query(&self, sig: &MinHash, k: usize) -> Vec<usize> {
+        let mut found: Vec<usize> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for depth in (0..=self.depth).rev() {
+            for (t, tree) in self.trees.iter().enumerate() {
+                let prefix = &self.key(sig, t)[..depth];
+                for (key, ids) in tree.entries.range(prefix.to_vec()..) {
+                    if !key.starts_with(prefix) {
+                        break;
+                    }
+                    for &id in ids {
+                        if seen.insert(id) {
+                            found.push(id);
+                        }
+                    }
+                }
+            }
+            if found.len() >= k {
+                break;
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+
+    fn set(prefix: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    fn sig(h: &MinHasher, items: &[String]) -> MinHash {
+        h.signature(items.iter().map(String::as_str))
+    }
+
+    #[test]
+    fn nearest_items_surface_first() {
+        let h = MinHasher::new(64, 9);
+        let mut f = LshForest::new(8, 8);
+        let base = set("v", 100);
+        let mut near = base[..90].to_vec();
+        near.extend(set("n", 10));
+        let mut mid = base[..50].to_vec();
+        mid.extend(set("m", 50));
+        let far = set("z", 100);
+
+        f.insert(1, &sig(&h, &near));
+        f.insert(2, &sig(&h, &mid));
+        f.insert(3, &sig(&h, &far));
+
+        let top1 = f.query(&sig(&h, &base), 1);
+        assert_eq!(top1[0], 1, "nearest neighbor should be found first: {top1:?}");
+    }
+
+    #[test]
+    fn relaxation_eventually_returns_everything() {
+        let h = MinHasher::new(64, 9);
+        let mut f = LshForest::new(8, 8);
+        for i in 0..5 {
+            f.insert(i, &sig(&h, &set(&format!("s{i}_"), 50)));
+        }
+        let all = f.query(&sig(&h, &set("s0_", 50)), 5);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0], 0);
+    }
+
+    #[test]
+    fn exact_duplicate_always_found() {
+        let h = MinHasher::new(64, 9);
+        let mut f = LshForest::new(8, 8);
+        let items = set("d", 30);
+        f.insert(7, &sig(&h, &items));
+        assert_eq!(f.query(&sig(&h, &items), 1), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature too short")]
+    fn short_signature_panics() {
+        let h = MinHasher::new(4, 1);
+        let mut f = LshForest::new(8, 8);
+        f.insert(0, &h.signature(["x"]));
+    }
+}

@@ -1,0 +1,220 @@
+//! MinHash signatures for Jaccard similarity estimation.
+//!
+//! Aurum "profiles each table column by adding signatures … and a
+//! representation of data values (i.e., MinHash)" (§6.2.1). A signature is
+//! `k` minima under `k` independent hash functions; the fraction of
+//! matching positions between two signatures is an unbiased estimator of
+//! the Jaccard similarity of the underlying sets.
+//!
+//! Hash functions are the universal family `h_i(x) = a_i·x + b_i` over the
+//! stable 64-bit element hash, seeded deterministically.
+
+use lake_core::value::fnv1a;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A family of `k` hash functions shared by all signatures being compared.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    coeffs: Vec<(u64, u64)>,
+}
+
+impl MinHasher {
+    /// Build a hasher with `k` functions from `seed`.
+    pub fn new(k: usize, seed: u64) -> MinHasher {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coeffs = (0..k)
+            .map(|_| (rng.random::<u64>() | 1, rng.random::<u64>()))
+            .collect();
+        MinHasher { coeffs }
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Compute the signature of a set of element hashes.
+    pub fn signature_of_hashes(&self, hashes: impl IntoIterator<Item = u64> + Clone) -> MinHash {
+        let mut mins = vec![u64::MAX; self.coeffs.len()];
+        for h in hashes {
+            for (i, (a, b)) in self.coeffs.iter().enumerate() {
+                let v = h.wrapping_mul(*a).wrapping_add(*b);
+                if v < mins[i] {
+                    mins[i] = v;
+                }
+            }
+        }
+        MinHash { mins }
+    }
+
+    /// Compute the signature of a set of string elements.
+    pub fn signature<'a>(&self, items: impl IntoIterator<Item = &'a str>) -> MinHash {
+        let hashes: Vec<u64> = items.into_iter().map(|s| fnv1a(s.as_bytes())).collect();
+        self.signature_of_hashes(hashes)
+    }
+
+    /// Merge a single new element into an existing signature — the
+    /// incremental-update path Aurum uses when data changes (E4).
+    pub fn update(&self, sig: &mut MinHash, item: &str) {
+        let h = fnv1a(item.as_bytes());
+        for (i, (a, b)) in self.coeffs.iter().enumerate() {
+            let v = h.wrapping_mul(*a).wrapping_add(*b);
+            if v < sig.mins[i] {
+                sig.mins[i] = v;
+            }
+        }
+    }
+}
+
+/// A MinHash signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHash {
+    mins: Vec<u64>,
+}
+
+impl MinHash {
+    /// Signature length.
+    pub fn len(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// `true` when the signature has length 0.
+    pub fn is_empty(&self) -> bool {
+        self.mins.is_empty()
+    }
+
+    /// Raw signature values (used by LSH banding).
+    pub fn values(&self) -> &[u64] {
+        &self.mins
+    }
+
+    /// Estimated Jaccard similarity with another signature from the same
+    /// [`MinHasher`].
+    pub fn jaccard(&self, other: &MinHash) -> f64 {
+        assert_eq!(self.mins.len(), other.mins.len(), "signatures from different hashers");
+        if self.mins.is_empty() {
+            return 0.0;
+        }
+        let agree = self
+            .mins
+            .iter()
+            .zip(&other.mins)
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.mins.len() as f64
+    }
+
+    /// Lazo-style containment estimate: the fraction of *this* set
+    /// contained in `other`, derived from the Jaccard estimate and the two
+    /// set cardinalities (Fernandez et al., cited by Juneau in §6.2.2 as
+    /// the scalable alternative for coupled Jaccard/containment
+    /// estimation): `C(A⊆B) = J · (|A| + |B|) / (|A| · (1 + J))`.
+    pub fn containment_in(&self, other: &MinHash, self_card: usize, other_card: usize) -> f64 {
+        if self_card == 0 {
+            return 0.0;
+        }
+        let j = self.jaccard(other);
+        let inter = j * (self_card + other_card) as f64 / (1.0 + j);
+        (inter / self_card as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::stats::jaccard;
+
+    fn set(prefix: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let h = MinHasher::new(128, 7);
+        let items = set("v", 100);
+        let a = h.signature(items.iter().map(String::as_str));
+        let b = h.signature(items.iter().map(String::as_str));
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let h = MinHasher::new(128, 7);
+        let a = h.signature(set("a", 200).iter().map(String::as_str));
+        let b = h.signature(set("b", 200).iter().map(String::as_str));
+        assert!(a.jaccard(&b) < 0.1, "got {}", a.jaccard(&b));
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let h = MinHasher::new(256, 11);
+        // 150 shared out of 250 each → J = 150/350 ≈ 0.4286.
+        let shared = set("s", 150);
+        let mut sa = shared.clone();
+        sa.extend(set("a", 100));
+        let mut sb = shared;
+        sb.extend(set("b", 100));
+        let truth = jaccard(&sa, &sb);
+        let est = h
+            .signature(sa.iter().map(String::as_str))
+            .jaccard(&h.signature(sb.iter().map(String::as_str)));
+        assert!((est - truth).abs() < 0.1, "est {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn incremental_update_matches_batch() {
+        let h = MinHasher::new(64, 3);
+        let items = set("x", 50);
+        let batch = h.signature(items.iter().map(String::as_str));
+        let mut inc = h.signature(items[..25].iter().map(String::as_str));
+        for item in &items[25..] {
+            h.update(&mut inc, item);
+        }
+        assert_eq!(batch, inc);
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let a = MinHasher::new(32, 5).signature(["x", "y"]);
+        let b = MinHasher::new(32, 5).signature(["x", "y"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different hashers")]
+    fn mismatched_lengths_panic() {
+        let a = MinHasher::new(16, 1).signature(["x"]);
+        let b = MinHasher::new(32, 1).signature(["x"]);
+        let _ = a.jaccard(&b);
+    }
+
+    #[test]
+    fn containment_estimate_tracks_subset_relations() {
+        let h = MinHasher::new(256, 17);
+        // A (50 items) fully contained in B (200 items).
+        let b: Vec<String> = set("v", 200);
+        let a: Vec<String> = b[..50].to_vec();
+        let sa = h.signature(a.iter().map(String::as_str));
+        let sb = h.signature(b.iter().map(String::as_str));
+        let c_ab = sa.containment_in(&sb, 50, 200);
+        assert!(c_ab > 0.85, "A⊆B containment should be ≈1, got {c_ab}");
+        // B is only 25% contained in A.
+        let c_ba = sb.containment_in(&sa, 200, 50);
+        assert!((c_ba - 0.25).abs() < 0.12, "B in A ≈ 0.25, got {c_ba}");
+        // Disjoint sets: containment ≈ 0.
+        let z = h.signature(set("z", 100).iter().map(String::as_str));
+        assert!(sa.containment_in(&z, 50, 100) < 0.1);
+        // Degenerate cardinality.
+        assert_eq!(sa.containment_in(&sb, 0, 200), 0.0);
+    }
+
+    #[test]
+    fn empty_set_signature() {
+        let h = MinHasher::new(8, 1);
+        let e = h.signature([]);
+        assert_eq!(e.values(), &[u64::MAX; 8]);
+        // Two empties agree everywhere — degenerate but defined.
+        assert_eq!(e.jaccard(&h.signature([])), 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! TF-IDF weighting and cosine similarity over token bags.
+//!
+//! Aurum measures attribute-name relatedness with "cosine similarity
+//! (TF-IDF)" (Table 3). A [`TfIdfCorpus`] is fit over all documents (e.g.
+//! tokenized attribute names of the whole lake) so inverse document
+//! frequencies reflect lake-wide token rarity; documents are then embedded
+//! as sparse weighted vectors compared by cosine.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Tokenize an identifier-like string: lowercase, split on
+/// non-alphanumerics *and* camelCase boundaries.
+pub fn tokenize_identifier(s: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut prev_lower = false;
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            if c.is_uppercase() && prev_lower && !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            prev_lower = c.is_lowercase() || c.is_ascii_digit();
+            cur.extend(c.to_lowercase());
+        } else {
+            prev_lower = false;
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// A fitted TF-IDF model over a document corpus.
+#[derive(Debug, Clone)]
+pub struct TfIdfCorpus {
+    /// token → document frequency.
+    doc_freq: HashMap<String, usize>,
+    /// Number of documents fit.
+    num_docs: usize,
+}
+
+/// A sparse TF-IDF vector (token → weight), L2-normalized.
+pub type SparseVec = BTreeMap<String, f64>;
+
+impl TfIdfCorpus {
+    /// Fit over an iterator of documents, each a token list.
+    pub fn fit<'a, D>(docs: D) -> TfIdfCorpus
+    where
+        D: IntoIterator<Item = &'a [String]>,
+    {
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        let mut num_docs = 0;
+        for doc in docs {
+            num_docs += 1;
+            let mut seen: Vec<&String> = doc.iter().collect();
+            seen.sort();
+            seen.dedup();
+            for tok in seen {
+                *doc_freq.entry(tok.clone()).or_insert(0) += 1;
+            }
+        }
+        TfIdfCorpus { doc_freq, num_docs }
+    }
+
+    /// Inverse document frequency of `token` (smoothed).
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        ((1.0 + self.num_docs as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    /// Embed a document as an L2-normalized sparse TF-IDF vector.
+    pub fn vectorize(&self, doc: &[String]) -> SparseVec {
+        let mut tf: BTreeMap<String, f64> = BTreeMap::new();
+        for tok in doc {
+            *tf.entry(tok.clone()).or_insert(0.0) += 1.0;
+        }
+        let mut v: SparseVec = tf
+            .into_iter()
+            .map(|(tok, f)| {
+                let w = f * self.idf(&tok);
+                (tok, w)
+            })
+            .collect();
+        let norm: f64 = v.values().map(|w| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for w in v.values_mut() {
+                *w /= norm;
+            }
+        }
+        v
+    }
+
+    /// Cosine similarity of two documents under this model.
+    pub fn similarity(&self, a: &[String], b: &[String]) -> f64 {
+        sparse_cosine(&self.vectorize(a), &self.vectorize(b))
+    }
+}
+
+/// Cosine similarity of two normalized sparse vectors.
+pub fn sparse_cosine(a: &SparseVec, b: &SparseVec) -> f64 {
+    // Iterate the smaller map.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .filter_map(|(tok, wa)| large.get(tok).map(|wb| wa * wb))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize_identifier(s)
+    }
+
+    #[test]
+    fn tokenizer_splits_cases() {
+        assert_eq!(toks("customer_id"), vec!["customer", "id"]);
+        assert_eq!(toks("CustomerID"), vec!["customer", "id"]);
+        assert_eq!(toks("orderDate2024"), vec!["order", "date2024"]);
+        assert_eq!(toks("  weird--name  "), vec!["weird", "name"]);
+        assert!(toks("___").is_empty());
+    }
+
+    #[test]
+    fn identical_docs_have_similarity_one() {
+        let docs = [toks("customer_id"), toks("order_id"), toks("city")];
+        let refs: Vec<&[String]> = docs.iter().map(Vec::as_slice).collect();
+        let model = TfIdfCorpus::fit(refs);
+        assert!((model.similarity(&docs[0], &docs[0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_rare_token_scores_higher_than_shared_common_token() {
+        // "id" appears in many docs (common), "customer" in few (rare).
+        let docs = [
+            toks("customer_id"),
+            toks("order_id"),
+            toks("product_id"),
+            toks("supplier_id"),
+            toks("customer_name"),
+        ];
+        let refs: Vec<&[String]> = docs.iter().map(Vec::as_slice).collect();
+        let model = TfIdfCorpus::fit(refs);
+        let rare = model.similarity(&toks("customer_id"), &toks("customer_name"));
+        let common = model.similarity(&toks("customer_id"), &toks("order_id"));
+        assert!(rare > common, "rare-token match {rare} should beat common-token match {common}");
+    }
+
+    #[test]
+    fn disjoint_docs_have_zero_similarity() {
+        let docs = [toks("alpha"), toks("beta")];
+        let refs: Vec<&[String]> = docs.iter().map(Vec::as_slice).collect();
+        let model = TfIdfCorpus::fit(refs);
+        assert_eq!(model.similarity(&docs[0], &docs[1]), 0.0);
+    }
+
+    #[test]
+    fn empty_doc_is_zero_vector() {
+        let docs = [toks("x")];
+        let refs: Vec<&[String]> = docs.iter().map(Vec::as_slice).collect();
+        let model = TfIdfCorpus::fit(refs);
+        let v = model.vectorize(&[]);
+        assert!(v.is_empty());
+        assert_eq!(model.similarity(&[], &toks("x")), 0.0);
+    }
+}

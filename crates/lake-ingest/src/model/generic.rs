@@ -1,0 +1,152 @@
+//! The GEMMS generic metamodel (§5.2.1).
+//!
+//! "The logic-based metadata model of GEMMS has different model elements
+//! and allows the separation of metadata containing information about the
+//! content, semantics, and structure. It captures the general metadata
+//! properties in the form of key-value pairs, as well as structural
+//! metadata as trees and matrices … domain-specific ontology terms can be
+//! attached to metadata elements as semantic metadata."
+
+use crate::gemms::StructuralMetadata;
+use lake_core::DatasetId;
+use std::collections::BTreeMap;
+
+/// A semantic annotation: a metadata element linked to an ontology term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemanticAnnotation {
+    /// The annotated element (attribute name, path, or whole dataset `""`).
+    pub element: String,
+    /// Ontology term IRI/curie (e.g. `schema:City`).
+    pub term: String,
+    /// The ontology the term belongs to.
+    pub ontology: String,
+}
+
+/// One dataset's entry in the GEMMS metamodel.
+#[derive(Debug, Clone)]
+pub struct MetadataEntry {
+    /// The dataset this metadata describes.
+    pub dataset: DatasetId,
+    /// General properties as key-value pairs.
+    pub properties: BTreeMap<String, String>,
+    /// Structural metadata (tree / schema / graph shape).
+    pub structure: Option<StructuralMetadata>,
+    /// Semantic annotations.
+    pub semantics: Vec<SemanticAnnotation>,
+}
+
+/// The metamodel: an extensible registry of per-dataset metadata.
+#[derive(Debug, Clone, Default)]
+pub struct GenericMetamodel {
+    entries: BTreeMap<DatasetId, MetadataEntry>,
+}
+
+impl GenericMetamodel {
+    /// An empty metamodel.
+    pub fn new() -> GenericMetamodel {
+        GenericMetamodel::default()
+    }
+
+    /// Create (or fetch) the entry for a dataset.
+    pub fn entry_mut(&mut self, dataset: DatasetId) -> &mut MetadataEntry {
+        self.entries.entry(dataset).or_insert_with(|| MetadataEntry {
+            dataset,
+            properties: BTreeMap::new(),
+            structure: None,
+            semantics: Vec::new(),
+        })
+    }
+
+    /// Read a dataset's entry.
+    pub fn entry(&self, dataset: DatasetId) -> Option<&MetadataEntry> {
+        self.entries.get(&dataset)
+    }
+
+    /// Set a property.
+    pub fn set_property(&mut self, dataset: DatasetId, key: &str, value: &str) {
+        self.entry_mut(dataset).properties.insert(key.to_string(), value.to_string());
+    }
+
+    /// Attach structural metadata.
+    pub fn set_structure(&mut self, dataset: DatasetId, structure: StructuralMetadata) {
+        self.entry_mut(dataset).structure = Some(structure);
+    }
+
+    /// Attach a semantic annotation.
+    pub fn annotate(&mut self, dataset: DatasetId, element: &str, ontology: &str, term: &str) {
+        self.entry_mut(dataset).semantics.push(SemanticAnnotation {
+            element: element.to_string(),
+            term: term.to_string(),
+            ontology: ontology.to_string(),
+        });
+    }
+
+    /// All datasets annotated with `term` (queryability of semantics).
+    pub fn datasets_with_term(&self, term: &str) -> Vec<DatasetId> {
+        self.entries
+            .values()
+            .filter(|e| e.semantics.iter().any(|a| a.term == term))
+            .map(|e| e.dataset)
+            .collect()
+    }
+
+    /// All datasets whose property `key` equals `value`.
+    pub fn datasets_with_property(&self, key: &str, value: &str) -> Vec<DatasetId> {
+        self.entries
+            .values()
+            .filter(|e| e.properties.get(key).map(String::as_str) == Some(value))
+            .map(|e| e.dataset)
+            .collect()
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::Schema;
+
+    #[test]
+    fn properties_structure_and_semantics_coexist() {
+        let mut m = GenericMetamodel::new();
+        let id = DatasetId(1);
+        m.set_property(id, "source", "s3://raw/a.csv");
+        m.set_structure(id, StructuralMetadata::Table(Schema::empty()));
+        m.annotate(id, "city", "schema.org", "schema:City");
+        let e = m.entry(id).unwrap();
+        assert_eq!(e.properties["source"], "s3://raw/a.csv");
+        assert!(matches!(e.structure, Some(StructuralMetadata::Table(_))));
+        assert_eq!(e.semantics.len(), 1);
+    }
+
+    #[test]
+    fn term_and_property_queries() {
+        let mut m = GenericMetamodel::new();
+        m.annotate(DatasetId(1), "city", "schema.org", "schema:City");
+        m.annotate(DatasetId(2), "town", "schema.org", "schema:City");
+        m.annotate(DatasetId(3), "x", "schema.org", "schema:Person");
+        m.set_property(DatasetId(1), "zone", "raw");
+        m.set_property(DatasetId(3), "zone", "raw");
+        assert_eq!(m.datasets_with_term("schema:City"), vec![DatasetId(1), DatasetId(2)]);
+        assert_eq!(m.datasets_with_property("zone", "raw"), vec![DatasetId(1), DatasetId(3)]);
+        assert!(m.datasets_with_term("schema:Nope").is_empty());
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn entry_is_created_lazily() {
+        let mut m = GenericMetamodel::new();
+        assert!(m.entry(DatasetId(9)).is_none());
+        m.entry_mut(DatasetId(9));
+        assert!(m.entry(DatasetId(9)).is_some());
+    }
+}

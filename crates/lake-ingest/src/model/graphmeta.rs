@@ -1,0 +1,274 @@
+//! Graph-based metamodels (§5.2.3) beyond Aurum's EKG (which lives in
+//! `lake-discovery`, where it is built):
+//!
+//! * **Diamantini-style semantic network** — nodes for datasets and their
+//!   fields, labeled arcs for structure, lexical merging of field nodes
+//!   whose names are string-similar, and *thematic views* (the subgraph
+//!   reachable from a topic node).
+//! * **Sawadogo-style evolution features** — the six features their model
+//!   supports: semantic enrichment (term tags), data indexing (inverted
+//!   term index), link generation (similarity edges), data polymorphism
+//!   (multiple stored forms of one dataset), data versioning, and usage
+//!   tracking (access logs). Implemented as [`EvolutionMetadata`].
+
+use lake_core::{DatasetId, NodeId, PropertyGraph, Value};
+use lake_index::qgram::qgram_similarity;
+use std::collections::BTreeMap;
+
+/// The Diamantini-style network metadata model.
+#[derive(Debug, Clone, Default)]
+pub struct SemanticNetwork {
+    /// Underlying labeled graph.
+    pub graph: PropertyGraph,
+    field_nodes: Vec<(String, NodeId)>,
+}
+
+impl SemanticNetwork {
+    /// An empty network.
+    pub fn new() -> SemanticNetwork {
+        SemanticNetwork::default()
+    }
+
+    /// Add a dataset node with labeled field arcs.
+    pub fn add_dataset(&mut self, name: &str, fields: &[&str]) -> NodeId {
+        let ds = self
+            .graph
+            .add_node_with("Source", vec![("name", Value::str(name))]);
+        for f in fields {
+            let fnode = self
+                .graph
+                .add_node_with("Field", vec![("name", Value::str(*f))]);
+            self.graph.add_edge(ds, fnode, "has_field");
+            self.field_nodes.push((f.to_string(), fnode));
+        }
+        ds
+    }
+
+    /// Merge lexically similar field nodes: add `same_as` edges between
+    /// field nodes whose name q-gram similarity ≥ `threshold`. Returns the
+    /// number of merges.
+    pub fn merge_lexically_similar(&mut self, threshold: f64) -> usize {
+        let mut merges = 0;
+        let nodes = self.field_nodes.clone();
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                let (na, a) = &nodes[i];
+                let (nb, b) = &nodes[j];
+                if a != b && qgram_similarity(na, nb, 3) >= threshold {
+                    self.graph.add_edge(*a, *b, "same_as");
+                    self.graph.add_edge(*b, *a, "same_as");
+                    merges += 1;
+                }
+            }
+        }
+        merges
+    }
+
+    /// Link a field to external semantic knowledge (e.g. DBpedia).
+    pub fn link_semantic(&mut self, field: NodeId, kb: &str, concept: &str) {
+        let c = self.graph.add_node_with(
+            "Concept",
+            vec![("kb", Value::str(kb)), ("name", Value::str(concept))],
+        );
+        self.graph.add_edge(field, c, "means");
+    }
+
+    /// A *thematic view*: names of all sources whose fields reach a
+    /// concept named `topic` via `means`/`same_as` edges.
+    pub fn thematic_view(&self, topic: &str) -> Vec<String> {
+        // Find concept nodes with the topic name.
+        let mut out = Vec::new();
+        for ds in self.graph.nodes_with_label("Source") {
+            let reaches = self.graph.bfs(ds, |_| true).into_iter().any(|n| {
+                self.graph.node(n).label == "Concept"
+                    && self.graph.node(n).props.get("name") == Some(&Value::str(topic))
+            });
+            if reaches {
+                if let Some(Value::Str(name)) = self.graph.node(ds).props.get("name") {
+                    out.push(name.clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All field node ids for a given field name.
+    pub fn fields_named(&self, name: &str) -> Vec<NodeId> {
+        self.field_nodes
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|&(_, id)| id)
+            .collect()
+    }
+}
+
+/// One stored representation of a dataset (data polymorphism).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredForm {
+    /// Format name ("csv", "pql", …).
+    pub format: String,
+    /// Storage location.
+    pub location: String,
+}
+
+/// Sawadogo-style evolution-oriented metadata for one lake.
+#[derive(Debug, Clone, Default)]
+pub struct EvolutionMetadata {
+    /// Semantic enrichment: dataset → tags.
+    tags: BTreeMap<DatasetId, Vec<String>>,
+    /// Data indexing: term → datasets.
+    term_index: BTreeMap<String, Vec<DatasetId>>,
+    /// Link generation: similarity edges between datasets.
+    links: Vec<(DatasetId, DatasetId, f64)>,
+    /// Data polymorphism: dataset → stored forms.
+    forms: BTreeMap<DatasetId, Vec<StoredForm>>,
+    /// Versioning: dataset → version descriptions (monotone).
+    versions: BTreeMap<DatasetId, Vec<String>>,
+    /// Usage tracking: dataset → (logical time, user) accesses.
+    usage: BTreeMap<DatasetId, Vec<(u64, String)>>,
+}
+
+impl EvolutionMetadata {
+    /// An empty store.
+    pub fn new() -> EvolutionMetadata {
+        EvolutionMetadata::default()
+    }
+
+    /// Tag a dataset and index the term.
+    pub fn enrich(&mut self, ds: DatasetId, term: &str) {
+        self.tags.entry(ds).or_default().push(term.to_string());
+        let list = self.term_index.entry(term.to_string()).or_default();
+        if !list.contains(&ds) {
+            list.push(ds);
+        }
+    }
+
+    /// Datasets indexed under a term.
+    pub fn lookup(&self, term: &str) -> &[DatasetId] {
+        self.term_index.get(term).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Record a similarity link.
+    pub fn add_link(&mut self, a: DatasetId, b: DatasetId, similarity: f64) {
+        self.links.push((a.min(b), a.max(b), similarity));
+    }
+
+    /// Links involving a dataset.
+    pub fn links_of(&self, ds: DatasetId) -> Vec<(DatasetId, f64)> {
+        self.links
+            .iter()
+            .filter_map(|&(a, b, s)| {
+                if a == ds {
+                    Some((b, s))
+                } else if b == ds {
+                    Some((a, s))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Register a stored form (polymorphism: the same dataset as CSV and
+    /// as columnar binary, say).
+    pub fn add_form(&mut self, ds: DatasetId, format: &str, location: &str) {
+        self.forms.entry(ds).or_default().push(StoredForm {
+            format: format.to_string(),
+            location: location.to_string(),
+        });
+    }
+
+    /// Stored forms of a dataset.
+    pub fn forms_of(&self, ds: DatasetId) -> &[StoredForm] {
+        self.forms.get(&ds).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Append a version description; returns the new version number (1-based).
+    pub fn add_version(&mut self, ds: DatasetId, description: &str) -> usize {
+        let v = self.versions.entry(ds).or_default();
+        v.push(description.to_string());
+        v.len()
+    }
+
+    /// Version history of a dataset.
+    pub fn versions_of(&self, ds: DatasetId) -> &[String] {
+        self.versions.get(&ds).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Record an access.
+    pub fn track_usage(&mut self, ds: DatasetId, tick: u64, user: &str) {
+        self.usage.entry(ds).or_default().push((tick, user.to_string()));
+    }
+
+    /// Access count of a dataset.
+    pub fn usage_count(&self, ds: DatasetId) -> usize {
+        self.usage.get(&ds).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexical_merge_connects_similar_fields() {
+        let mut net = SemanticNetwork::new();
+        net.add_dataset("a", &["customer_id", "city"]);
+        net.add_dataset("b", &["customer_ids", "color"]);
+        let merges = net.merge_lexically_similar(0.6);
+        assert_eq!(merges, 1);
+        let f = net.fields_named("customer_id")[0];
+        assert!(net.graph.out_edges(f).any(|e| e.label == "same_as"));
+    }
+
+    #[test]
+    fn thematic_view_follows_semantics() {
+        let mut net = SemanticNetwork::new();
+        net.add_dataset("sales", &["city"]);
+        net.add_dataset("hr", &["salary"]);
+        let city_field = net.fields_named("city")[0];
+        net.link_semantic(city_field, "dbpedia", "Place");
+        assert_eq!(net.thematic_view("Place"), vec!["sales"]);
+        assert!(net.thematic_view("Nothing").is_empty());
+    }
+
+    #[test]
+    fn thematic_view_crosses_same_as_edges() {
+        let mut net = SemanticNetwork::new();
+        net.add_dataset("a", &["city"]);
+        net.add_dataset("b", &["citys"]);
+        net.merge_lexically_similar(0.4);
+        let f = net.fields_named("city")[0];
+        net.link_semantic(f, "dbpedia", "Place");
+        let view = net.thematic_view("Place");
+        assert_eq!(view, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn evolution_features_roundtrip() {
+        let mut em = EvolutionMetadata::new();
+        let d1 = DatasetId(1);
+        let d2 = DatasetId(2);
+        em.enrich(d1, "finance");
+        em.enrich(d2, "finance");
+        em.enrich(d1, "finance"); // idempotent index
+        assert_eq!(em.lookup("finance"), &[d1, d2]);
+
+        em.add_link(d2, d1, 0.8);
+        assert_eq!(em.links_of(d1), vec![(d2, 0.8)]);
+
+        em.add_form(d1, "csv", "raw/a.csv");
+        em.add_form(d1, "pql", "col/a.pql");
+        assert_eq!(em.forms_of(d1).len(), 2);
+
+        assert_eq!(em.add_version(d1, "initial load"), 1);
+        assert_eq!(em.add_version(d1, "cleaned nulls"), 2);
+        assert_eq!(em.versions_of(d1).len(), 2);
+
+        em.track_usage(d1, 10, "ada");
+        em.track_usage(d1, 11, "alan");
+        assert_eq!(em.usage_count(d1), 2);
+        assert_eq!(em.usage_count(d2), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! HANDLE: a generic metadata model for data lakes (§5.2.1).
+//!
+//! "It has three abstract entities: data, metadata, and property. HANDLE
+//! enables flexibility with fine-grained levels, and it adapts the zone
+//! architecture … the elements of the GEMMS model can also be mapped to
+//! HANDLE. Finally, HANDLE can be used for linked data and can be
+//! implemented in Neo4j."
+//!
+//! Implemented as a typed layer over [`PropertyGraph`]: `Data` nodes can
+//! model any granularity (a lake, a dataset, a column, a single cell),
+//! `Metadata` nodes attach to data nodes via `describes` edges, `Property`
+//! nodes hang off metadata via `has_property`, and zones are `Zone` nodes
+//! linked by `in_zone`.
+
+use lake_core::{LakeError, NodeId, PropertyGraph, Result, Value};
+
+/// Granularity of a data node — HANDLE's "fine-grained levels".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// The whole lake.
+    Lake,
+    /// One dataset.
+    Dataset,
+    /// One attribute/column.
+    Attribute,
+    /// One value/cell.
+    Value,
+}
+
+impl Granularity {
+    fn name(self) -> &'static str {
+        match self {
+            Granularity::Lake => "lake",
+            Granularity::Dataset => "dataset",
+            Granularity::Attribute => "attribute",
+            Granularity::Value => "value",
+        }
+    }
+}
+
+/// A HANDLE metadata graph.
+#[derive(Debug, Clone, Default)]
+pub struct HandleModel {
+    graph: PropertyGraph,
+}
+
+impl HandleModel {
+    /// An empty model.
+    pub fn new() -> HandleModel {
+        HandleModel::default()
+    }
+
+    /// Add a data node at a given granularity.
+    pub fn add_data(&mut self, name: &str, granularity: Granularity) -> NodeId {
+        self.graph.add_node_with(
+            "Data",
+            vec![
+                ("name", Value::str(name)),
+                ("granularity", Value::str(granularity.name())),
+            ],
+        )
+    }
+
+    /// Nest one data node under another (e.g. attribute under dataset).
+    pub fn contain(&mut self, parent: NodeId, child: NodeId) {
+        self.graph.add_edge(parent, child, "contains");
+    }
+
+    /// Attach a metadata node of a given category to a data node.
+    pub fn add_metadata(&mut self, data: NodeId, category: &str) -> NodeId {
+        let m = self
+            .graph
+            .add_node_with("Metadata", vec![("category", Value::str(category))]);
+        self.graph.add_edge(m, data, "describes");
+        m
+    }
+
+    /// Attach a property (key-value) to a metadata node.
+    pub fn add_property(&mut self, metadata: NodeId, key: &str, value: Value) -> NodeId {
+        let p = self
+            .graph
+            .add_node_with("Property", vec![("key", Value::str(key)), ("value", value)]);
+        self.graph.add_edge(metadata, p, "has_property");
+        p
+    }
+
+    /// Declare a zone (the zone-architecture adaptation).
+    pub fn add_zone(&mut self, name: &str) -> NodeId {
+        self.graph.add_node_with("Zone", vec![("name", Value::str(name))])
+    }
+
+    /// Place a data node in a zone (replacing any previous placement is
+    /// modeled by adding the newer edge; [`Self::zone_of`] returns the
+    /// latest).
+    pub fn place_in_zone(&mut self, data: NodeId, zone: NodeId) {
+        self.graph.add_edge(data, zone, "in_zone");
+    }
+
+    /// The latest zone of a data node.
+    pub fn zone_of(&self, data: NodeId) -> Option<String> {
+        self.graph
+            .out_edges(data)
+            .filter(|e| e.label == "in_zone")
+            .last()
+            .and_then(|e| self.graph.node(e.to).props.get("name"))
+            .and_then(|v| v.as_str().map(str::to_string))
+    }
+
+    /// All metadata categories attached to a data node.
+    pub fn metadata_of(&self, data: NodeId) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .graph
+            .in_edges(data)
+            .filter(|e| e.label == "describes")
+            .filter_map(|e| self.graph.node(e.from).props.get("category"))
+            .filter_map(|c| c.as_str().map(str::to_string))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Properties of a metadata node as `(key, value)` pairs.
+    pub fn properties_of(&self, metadata: NodeId) -> Vec<(String, Value)> {
+        self.graph
+            .out_edges(metadata)
+            .filter(|e| e.label == "has_property")
+            .filter_map(|e| {
+                let n = self.graph.node(e.to);
+                let k = n.props.get("key")?.as_str()?.to_string();
+                let v = n.props.get("value")?.clone();
+                Some((k, v))
+            })
+            .collect()
+    }
+
+    /// Find a data node by name.
+    pub fn find_data(&self, name: &str) -> Result<NodeId> {
+        self.graph
+            .nodes_with_label("Data")
+            .find(|&id| self.graph.node(id).props.get("name") == Some(&Value::str(name)))
+            .ok_or_else(|| LakeError::not_found(format!("data node {name}")))
+    }
+
+    /// Children contained in a data node.
+    pub fn children_of(&self, data: NodeId) -> Vec<NodeId> {
+        self.graph
+            .out_edges(data)
+            .filter(|e| e.label == "contains")
+            .map(|e| e.to)
+            .collect()
+    }
+
+    /// The underlying graph (e.g. to hand to the graph store — "HANDLE can
+    /// be implemented in Neo4j").
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.graph
+    }
+
+    /// Map a GEMMS entry into HANDLE (the survey notes GEMMS ⊆ HANDLE):
+    /// properties become a "general" metadata node's properties; semantic
+    /// annotations become "semantic" metadata on attribute-level children.
+    pub fn import_gemms(
+        &mut self,
+        dataset_name: &str,
+        entry: &super::generic::MetadataEntry,
+    ) -> NodeId {
+        let data = self.add_data(dataset_name, Granularity::Dataset);
+        let general = self.add_metadata(data, "general");
+        for (k, v) in &entry.properties {
+            self.add_property(general, k, Value::str(v.clone()));
+        }
+        for ann in &entry.semantics {
+            let attr = self.add_data(&format!("{dataset_name}.{}", ann.element), Granularity::Attribute);
+            self.contain(data, attr);
+            let sem = self.add_metadata(attr, "semantic");
+            self.add_property(sem, "term", Value::str(ann.term.clone()));
+            self.add_property(sem, "ontology", Value::str(ann.ontology.clone()));
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_metadata_property_chain() {
+        let mut h = HandleModel::new();
+        let ds = h.add_data("sales", Granularity::Dataset);
+        let md = h.add_metadata(ds, "general");
+        h.add_property(md, "rows", Value::Int(100));
+        h.add_property(md, "owner", Value::str("ops"));
+        assert_eq!(h.metadata_of(ds), vec!["general"]);
+        let props = h.properties_of(md);
+        assert!(props.contains(&("rows".to_string(), Value::Int(100))));
+        assert_eq!(props.len(), 2);
+    }
+
+    #[test]
+    fn fine_grained_levels_nest() {
+        let mut h = HandleModel::new();
+        let ds = h.add_data("sales", Granularity::Dataset);
+        let col = h.add_data("sales.city", Granularity::Attribute);
+        h.contain(ds, col);
+        assert_eq!(h.children_of(ds), vec![col]);
+        let md = h.add_metadata(col, "semantic");
+        h.add_property(md, "term", Value::str("schema:City"));
+        assert_eq!(h.metadata_of(col), vec!["semantic"]);
+    }
+
+    #[test]
+    fn zones_track_latest_placement() {
+        let mut h = HandleModel::new();
+        let ds = h.add_data("sales", Granularity::Dataset);
+        let raw = h.add_zone("raw");
+        let trusted = h.add_zone("trusted");
+        h.place_in_zone(ds, raw);
+        assert_eq!(h.zone_of(ds).as_deref(), Some("raw"));
+        h.place_in_zone(ds, trusted);
+        assert_eq!(h.zone_of(ds).as_deref(), Some("trusted"));
+    }
+
+    #[test]
+    fn find_data_by_name() {
+        let mut h = HandleModel::new();
+        h.add_data("a", Granularity::Dataset);
+        let b = h.add_data("b", Granularity::Dataset);
+        assert_eq!(h.find_data("b").unwrap(), b);
+        assert!(h.find_data("zz").is_err());
+    }
+
+    #[test]
+    fn gemms_entries_map_into_handle() {
+        use super::super::generic::GenericMetamodel;
+        let mut g = GenericMetamodel::new();
+        let id = lake_core::DatasetId(1);
+        g.set_property(id, "format", "csv");
+        g.annotate(id, "city", "schema.org", "schema:City");
+        let mut h = HandleModel::new();
+        let data = h.import_gemms("sales", g.entry(id).unwrap());
+        assert_eq!(h.metadata_of(data), vec!["general"]);
+        assert_eq!(h.children_of(data).len(), 1);
+        let attr = h.children_of(data)[0];
+        assert_eq!(h.metadata_of(attr), vec!["semantic"]);
+    }
+}

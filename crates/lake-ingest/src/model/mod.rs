@@ -1,0 +1,11 @@
+//! Metadata models (§5.2): how extracted metadata is structured.
+//!
+//! The survey categorizes proposed models into generic metamodels
+//! ([`generic`], [`handle`]), data vault ([`vault`]), and graph-based
+//! models ([`graphmeta`]).
+
+pub mod generic;
+pub mod graphmeta;
+pub mod handle;
+pub mod personal;
+pub mod vault;

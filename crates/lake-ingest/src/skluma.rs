@@ -1,0 +1,267 @@
+//! Skluma: content- and context-metadata extraction from disorganized
+//! science files (§5.1).
+//!
+//! "It first finds the name, path, size, and extension of the files; then
+//! it infers file types and adds specific extractors accordingly to
+//! process tabular data, free texts or null values." [`Skluma::profile`]
+//! mirrors that: context metadata from the path, a format-specific content
+//! extractor (tabular column profiles with null analysis; keyword topics
+//! for free text; aggregate stats for documents and logs).
+
+use lake_core::stats::NumericSummary;
+use lake_core::{Dataset, Result};
+use lake_formats::detect::{detect_format, parse_dataset};
+use lake_formats::Format;
+use std::collections::BTreeMap;
+
+/// Context metadata: what can be known without opening the file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextMetadata {
+    /// Full path as given.
+    pub path: String,
+    /// Base name.
+    pub name: String,
+    /// Extension (lowercased), if any.
+    pub extension: Option<String>,
+    /// Size in bytes.
+    pub size: usize,
+    /// Parent directory components (often encode campaign/instrument).
+    pub directories: Vec<String>,
+}
+
+/// Per-column content profile for tabular files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Inferred type name.
+    pub dtype: String,
+    /// Fraction of null values.
+    pub null_fraction: f64,
+    /// Distinct-value count.
+    pub distinct: usize,
+    /// Numeric summary when the column is numeric.
+    pub numeric: Option<NumericSummary>,
+    /// Up to 5 most frequent values (rendered), most frequent first.
+    pub top_values: Vec<(String, usize)>,
+}
+
+/// Content metadata, by file family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentMetadata {
+    /// Tabular files: per-column profiles.
+    Tabular {
+        /// Rows observed.
+        rows: usize,
+        /// Column profiles.
+        columns: Vec<ColumnProfile>,
+    },
+    /// Free text: top keywords with counts.
+    FreeText {
+        /// Word count.
+        words: usize,
+        /// Top keywords (lowercased, stopword-filtered).
+        keywords: Vec<(String, usize)>,
+    },
+    /// Semi-structured documents: structural aggregates.
+    Documents {
+        /// Document count.
+        count: usize,
+        /// Mean leaves per document.
+        mean_leaves: f64,
+        /// Maximum nesting depth.
+        max_depth: usize,
+    },
+    /// Logs: line count and distinct first tokens (log levels etc.).
+    Log {
+        /// Line count.
+        lines: usize,
+        /// Distinct leading tokens.
+        leading_tokens: Vec<String>,
+    },
+}
+
+/// A complete Skluma profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileProfile {
+    /// Context metadata.
+    pub context: ContextMetadata,
+    /// Detected format.
+    pub format: Format,
+    /// Content metadata.
+    pub content: ContentMetadata,
+}
+
+/// The Skluma profiler.
+#[derive(Debug, Clone, Default)]
+pub struct Skluma;
+
+const STOPWORDS: &[&str] = &[
+    "the", "a", "an", "and", "or", "of", "to", "in", "is", "it", "for", "on", "with", "as",
+    "are", "was", "be", "this", "that", "by", "at", "from",
+];
+
+impl Skluma {
+    /// Profile one file.
+    pub fn profile(&self, path: &str, content: &[u8]) -> Result<FileProfile> {
+        let name = path.rsplit('/').next().unwrap_or(path).to_string();
+        let extension = name.rsplit_once('.').map(|(_, e)| e.to_ascii_lowercase());
+        let directories: Vec<String> = path
+            .rsplit('/')
+            .skip(1)
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        let context = ContextMetadata {
+            path: path.to_string(),
+            name: name.clone(),
+            extension,
+            size: content.len(),
+            directories,
+        };
+        let format = detect_format(Some(path), content);
+        let dataset = parse_dataset(&name, format, content)?;
+        let content_md = match &dataset {
+            Dataset::Table(t) => ContentMetadata::Tabular {
+                rows: t.num_rows(),
+                columns: t.columns().iter().map(profile_column).collect(),
+            },
+            Dataset::Documents(docs) => ContentMetadata::Documents {
+                count: docs.len(),
+                mean_leaves: if docs.is_empty() {
+                    0.0
+                } else {
+                    docs.iter().map(|d| d.leaf_count()).sum::<usize>() as f64 / docs.len() as f64
+                },
+                max_depth: docs.iter().map(|d| d.depth()).max().unwrap_or(0),
+            },
+            Dataset::Log(log_lines) => {
+                let mut leading: Vec<String> = log_lines
+                    .iter()
+                    .filter_map(|l| l.split_whitespace().next())
+                    .map(str::to_string)
+                    .collect();
+                leading.sort();
+                leading.dedup();
+                leading.truncate(10);
+                ContentMetadata::Log { lines: log_lines.len(), leading_tokens: leading }
+            }
+            Dataset::Text(t) => {
+                let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+                let mut words = 0usize;
+                for w in t.split(|c: char| !c.is_alphanumeric()) {
+                    if w.is_empty() {
+                        continue;
+                    }
+                    words += 1;
+                    let lw = w.to_lowercase();
+                    if lw.len() > 2 && !STOPWORDS.contains(&lw.as_str()) {
+                        *counts.entry(lw).or_insert(0) += 1;
+                    }
+                }
+                let mut kw: Vec<(String, usize)> = counts.into_iter().collect();
+                kw.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                kw.truncate(10);
+                ContentMetadata::FreeText { words, keywords: kw }
+            }
+            Dataset::Graph(_) => ContentMetadata::Documents { count: 1, mean_leaves: 0.0, max_depth: 0 },
+        };
+        Ok(FileProfile { context, format, content: content_md })
+    }
+}
+
+fn profile_column(col: &lake_core::Column) -> ColumnProfile {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for v in &col.values {
+        if !v.is_null() {
+            *counts.entry(v.render()).or_insert(0) += 1;
+        }
+    }
+    let mut top: Vec<(String, usize)> = counts.into_iter().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    top.truncate(5);
+    let numeric_vals = col.numeric_values();
+    ColumnProfile {
+        name: col.name.clone(),
+        dtype: col.inferred_type().name().to_string(),
+        null_fraction: if col.is_empty() {
+            0.0
+        } else {
+            col.null_count() as f64 / col.len() as f64
+        },
+        distinct: col.cardinality(),
+        numeric: if numeric_vals.is_empty() { None } else { NumericSummary::of(&numeric_vals) },
+        top_values: top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_metadata_from_path() {
+        let p = Skluma.profile("campaign1/instrumentA/readings.csv", b"a,b\n1,2\n").unwrap();
+        assert_eq!(p.context.name, "readings.csv");
+        assert_eq!(p.context.extension.as_deref(), Some("csv"));
+        assert_eq!(p.context.directories, vec!["campaign1", "instrumentA"]);
+        assert_eq!(p.context.size, 8);
+    }
+
+    #[test]
+    fn tabular_profile_with_nulls_and_stats() {
+        let p = Skluma
+            .profile("t.csv", b"temp,site\n20.5,delft\n21.0,delft\n,paris\n")
+            .unwrap();
+        let ContentMetadata::Tabular { rows, columns } = &p.content else {
+            panic!("expected tabular");
+        };
+        assert_eq!(*rows, 3);
+        let temp = &columns[0];
+        assert_eq!(temp.dtype, "float");
+        assert!((temp.null_fraction - 1.0 / 3.0).abs() < 1e-9);
+        let num = temp.numeric.unwrap();
+        assert_eq!(num.min, 20.5);
+        assert_eq!(num.max, 21.0);
+        let site = &columns[1];
+        assert_eq!(site.top_values[0], ("delft".to_string(), 2));
+    }
+
+    #[test]
+    fn free_text_keywords_skip_stopwords() {
+        let text = b"The reactor temperature rose. The reactor alarm fired: reactor!";
+        let p = Skluma.profile("notes.md", text).unwrap();
+        let ContentMetadata::FreeText { keywords, words } = &p.content else {
+            panic!("expected text");
+        };
+        assert!(*words > 5);
+        assert_eq!(keywords[0].0, "reactor");
+        assert_eq!(keywords[0].1, 3);
+        assert!(!keywords.iter().any(|(w, _)| w == "the"));
+    }
+
+    #[test]
+    fn document_profile_aggregates_structure() {
+        let p = Skluma.profile("d.json", br#"{"a": {"b": 1}, "c": [1,2,3]}"#).unwrap();
+        let ContentMetadata::Documents { count, mean_leaves, max_depth } = p.content else {
+            panic!("expected documents");
+        };
+        assert_eq!(count, 1);
+        assert_eq!(mean_leaves, 4.0);
+        assert_eq!(max_depth, 2);
+    }
+
+    #[test]
+    fn log_profile_collects_leading_tokens() {
+        let p = Skluma
+            .profile("s.log", b"2024 INFO a\n2023 WARN b\n2024 INFO c\n")
+            .unwrap();
+        let ContentMetadata::Log { lines, leading_tokens } = &p.content else {
+            panic!("expected log");
+        };
+        assert_eq!(*lines, 3);
+        assert_eq!(leading_tokens, &vec!["2023".to_string(), "2024".to_string()]);
+    }
+}

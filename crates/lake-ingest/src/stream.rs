@@ -1,0 +1,237 @@
+//! Streaming ingestion under bounded memory (§3.2's lake-specific
+//! perspective: "a data lake often needs to ingest a large volume of data,
+//! possibly also at a high velocity or even as continuous data streams,
+//! which cannot be stored in full in the data lake. Not all metadata can
+//! be extracted at ingestion time, but we need to continue enrichment
+//! during later phases").
+//!
+//! [`StreamIngestor`] consumes an unbounded record stream while holding
+//! O(capacity) memory:
+//!
+//! * a **reservoir sample** (Vitter's Algorithm R) keeps a uniform sample
+//!   of all records seen, so later maintenance-tier enrichment has
+//!   representative data to work on;
+//! * the **schema** is unified incrementally ([`lake_core::Schema::unify`]),
+//!   recording a version history as the stream drifts (§6.6);
+//! * per-column **MinHash signatures** update incrementally
+//!   ([`lake_index::minhash::MinHasher::update`]) so discovery indexes stay
+//!   current without replaying the stream.
+
+use lake_core::{Field, Row, Schema, Table};
+use lake_index::minhash::{MinHash, MinHasher};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A bounded-memory ingestor for one record stream.
+#[derive(Debug)]
+pub struct StreamIngestor {
+    /// Column names, fixed at creation.
+    columns: Vec<String>,
+    capacity: usize,
+    reservoir: Vec<Row>,
+    seen: u64,
+    rng: StdRng,
+    schema: Schema,
+    schema_versions: Vec<u64>, // record counts at which the schema changed
+    hasher: MinHasher,
+    signatures: Vec<MinHash>,
+}
+
+impl StreamIngestor {
+    /// Create an ingestor for records with the given columns, keeping a
+    /// uniform sample of at most `capacity` records.
+    pub fn new(columns: &[&str], capacity: usize, seed: u64) -> StreamIngestor {
+        assert!(capacity > 0, "capacity must be positive");
+        let hasher = MinHasher::new(128, seed);
+        StreamIngestor {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            capacity,
+            reservoir: Vec::with_capacity(capacity),
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+            schema: Schema::empty(),
+            schema_versions: Vec::new(),
+            hasher: hasher.clone(),
+            signatures: columns.iter().map(|_| hasher.signature([])).collect(),
+        }
+    }
+
+    /// Ingest one record (must match the column arity).
+    pub fn push(&mut self, row: Row) -> lake_core::Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(lake_core::LakeError::schema(format!(
+                "record arity {} != {}",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        self.seen += 1;
+
+        // Incremental schema unification + version tracking.
+        let row_schema: Schema = self
+            .columns
+            .iter()
+            .zip(&row)
+            .map(|(n, v)| {
+                let mut f = Field::new(n.clone(), v.data_type());
+                f.nullable = v.is_null();
+                f
+            })
+            .collect();
+        let unified = if self.schema.is_empty() { row_schema } else { self.schema.unify(&row_schema) };
+        if unified.fingerprint() != self.schema.fingerprint() {
+            self.schema = unified;
+            self.schema_versions.push(self.seen);
+        }
+
+        // Incremental signatures.
+        for (sig, v) in self.signatures.iter_mut().zip(&row) {
+            if !v.is_null() {
+                self.hasher.update(sig, &v.render());
+            }
+        }
+
+        // Reservoir sampling (Algorithm R).
+        if self.reservoir.len() < self.capacity {
+            self.reservoir.push(row);
+        } else {
+            let j = self.rng.random_range(0..self.seen) as usize;
+            if j < self.capacity {
+                self.reservoir[j] = row;
+            }
+        }
+        Ok(())
+    }
+
+    /// Records seen so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current unified schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Record counts at which the schema changed (stream drift history).
+    pub fn schema_versions(&self) -> &[u64] {
+        &self.schema_versions
+    }
+
+    /// The incrementally maintained per-column MinHash signatures.
+    pub fn signatures(&self) -> &[MinHash] {
+        &self.signatures
+    }
+
+    /// The shared hasher (for comparing signatures against other columns).
+    pub fn hasher(&self) -> &MinHasher {
+        &self.hasher
+    }
+
+    /// Materialize the current sample as a table (what lands in the lake).
+    pub fn sample_table(&self, name: &str) -> lake_core::Result<Table> {
+        let header: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        Table::from_rows(name, &header, self.reservoir.clone())
+    }
+
+    /// The sample size currently held (≤ capacity).
+    pub fn sample_len(&self) -> usize {
+        self.reservoir.len()
+    }
+}
+
+/// Convenience: ingest an already-parsed value stream.
+pub fn ingest_stream(
+    columns: &[&str],
+    capacity: usize,
+    seed: u64,
+    records: impl IntoIterator<Item = Row>,
+) -> lake_core::Result<StreamIngestor> {
+    let mut ing = StreamIngestor::new(columns, capacity, seed);
+    for r in records {
+        ing.push(r)?;
+    }
+    Ok(ing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::{DataType, Value};
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut ing = StreamIngestor::new(&["id", "v"], 100, 1);
+        for i in 0..50_000i64 {
+            ing.push(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
+        }
+        assert_eq!(ing.seen(), 50_000);
+        assert_eq!(ing.sample_len(), 100);
+        let t = ing.sample_table("s").unwrap();
+        assert_eq!(t.num_rows(), 100);
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Mean of a uniform sample of 0..N should be ≈ N/2.
+        let mut ing = StreamIngestor::new(&["id"], 500, 7);
+        let n = 100_000i64;
+        for i in 0..n {
+            ing.push(vec![Value::Int(i)]).unwrap();
+        }
+        let t = ing.sample_table("s").unwrap();
+        let mean: f64 = t.column("id").unwrap().numeric_values().iter().sum::<f64>() / 500.0;
+        let expected = n as f64 / 2.0;
+        assert!(
+            (mean - expected).abs() < expected * 0.12,
+            "sample mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn schema_drift_is_versioned() {
+        let mut ing = StreamIngestor::new(&["a", "b"], 10, 1);
+        ing.push(vec![Value::Int(1), Value::str("x")]).unwrap();
+        assert_eq!(ing.schema_versions().len(), 1); // initial schema
+        ing.push(vec![Value::Int(2), Value::str("y")]).unwrap();
+        assert_eq!(ing.schema_versions().len(), 1); // no change
+        // Drift: a becomes float, b goes null.
+        ing.push(vec![Value::Float(2.5), Value::Null]).unwrap();
+        assert_eq!(ing.schema_versions().len(), 2);
+        assert_eq!(ing.schema().field("a").unwrap().dtype, DataType::Float);
+        assert!(ing.schema().field("b").unwrap().nullable);
+    }
+
+    #[test]
+    fn incremental_signatures_match_batch() {
+        let mut ing = StreamIngestor::new(&["k"], 10, 3);
+        let values: Vec<String> = (0..200).map(|i| format!("v{i}")).collect();
+        for v in &values {
+            ing.push(vec![Value::str(v.clone())]).unwrap();
+        }
+        let batch = ing.hasher().signature(values.iter().map(String::as_str));
+        assert_eq!(ing.signatures()[0], batch);
+        // The signature covers *all* seen values, not just the sample.
+        assert!(ing.sample_len() < values.len());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut ing = StreamIngestor::new(&["a", "b"], 10, 1);
+        assert!(ing.push(vec![Value::Int(1)]).is_err());
+        assert_eq!(ing.seen(), 0);
+    }
+
+    #[test]
+    fn ingest_stream_helper() {
+        let ing = ingest_stream(
+            &["x"],
+            5,
+            2,
+            (0..20).map(|i| vec![Value::Int(i)]),
+        )
+        .unwrap();
+        assert_eq!(ing.seen(), 20);
+        assert_eq!(ing.sample_len(), 5);
+    }
+}

@@ -1,0 +1,217 @@
+//! Integrated schemas and source mappings (§6.3).
+//!
+//! Constance "generates an integrated schema for partial integration" from
+//! user-selected sources, then "generates schema mappings, which preserve
+//! the relationships between the source schemata and integrated schema."
+//! An [`IntegratedSchema`] is a set of integrated attributes, each mapping
+//! to (table, column) occurrences across the sources.
+
+use crate::matching::{match_schemas, MatcherKind};
+use lake_core::{LakeError, Result, Table};
+use std::collections::BTreeMap;
+
+/// One integrated attribute and where it occurs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegratedAttribute {
+    /// Canonical name (the most frequent source spelling).
+    pub name: String,
+    /// Source occurrences: `(table index, column index)`.
+    pub sources: Vec<(usize, usize)>,
+}
+
+/// The integrated schema over a set of source tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntegratedSchema {
+    /// Integrated attributes.
+    pub attributes: Vec<IntegratedAttribute>,
+}
+
+/// A mapping from one source table into the integrated schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaMapping {
+    /// Source table index.
+    pub table: usize,
+    /// integrated-attribute index → source column index.
+    pub bindings: BTreeMap<usize, usize>,
+}
+
+impl IntegratedSchema {
+    /// Build an integrated schema by holistically matching every table
+    /// against every other and unioning transitive correspondences
+    /// (union-find over columns).
+    pub fn build(tables: &[&Table], kind: MatcherKind, threshold: f64) -> IntegratedSchema {
+        // Flat column ids.
+        let mut offsets = Vec::with_capacity(tables.len());
+        let mut total = 0usize;
+        for t in tables {
+            offsets.push(total);
+            total += t.num_columns();
+        }
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for a in 0..tables.len() {
+            for b in a + 1..tables.len() {
+                for c in match_schemas(tables[a], tables[b], kind, threshold) {
+                    let x = find(&mut parent, offsets[a] + c.left);
+                    let y = find(&mut parent, offsets[b] + c.right);
+                    if x != y {
+                        parent[x.max(y)] = x.min(y);
+                    }
+                }
+            }
+        }
+        // Group columns by root.
+        let mut groups: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+        for (ti, t) in tables.iter().enumerate() {
+            for ci in 0..t.num_columns() {
+                let root = find(&mut parent, offsets[ti] + ci);
+                groups.entry(root).or_default().push((ti, ci));
+            }
+        }
+        let attributes = groups
+            .into_values()
+            .map(|sources| {
+                // Canonical name: most frequent spelling, ties lexicographic.
+                let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+                for &(ti, ci) in &sources {
+                    *counts.entry(&tables[ti].columns()[ci].name).or_insert(0) += 1;
+                }
+                let name = counts
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                    .map(|(n, _)| n.to_string())
+                    .unwrap_or_default();
+                IntegratedAttribute { name, sources }
+            })
+            .collect();
+        IntegratedSchema { attributes }
+    }
+
+    /// Index of the integrated attribute named `name`.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// The mapping for one source table.
+    pub fn mapping_for(&self, table: usize) -> SchemaMapping {
+        let mut bindings = BTreeMap::new();
+        for (ai, attr) in self.attributes.iter().enumerate() {
+            if let Some(&(_, ci)) = attr.sources.iter().find(|&&(ti, _)| ti == table) {
+                bindings.insert(ai, ci);
+            }
+        }
+        SchemaMapping { table, bindings }
+    }
+
+    /// Attributes shared by at least `n` source tables (the "integrable
+    /// core" shown in Constance's UI).
+    pub fn shared_attributes(&self, n: usize) -> Vec<&IntegratedAttribute> {
+        self.attributes
+            .iter()
+            .filter(|a| {
+                let mut tables: Vec<usize> = a.sources.iter().map(|&(t, _)| t).collect();
+                tables.sort();
+                tables.dedup();
+                tables.len() >= n
+            })
+            .collect()
+    }
+
+    /// Resolve the source column of `attribute` in `table`, erroring when
+    /// the table does not provide it.
+    pub fn resolve(&self, attribute: usize, table: usize) -> Result<usize> {
+        self.attributes
+            .get(attribute)
+            .and_then(|a| a.sources.iter().find(|&&(t, _)| t == table))
+            .map(|&(_, c)| c)
+            .ok_or_else(|| {
+                LakeError::schema(format!("attribute {attribute} not provided by table {table}"))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::Value;
+
+    fn tables() -> Vec<Table> {
+        vec![
+            Table::from_rows(
+                "t0",
+                &["customer_id", "city"],
+                vec![vec![Value::str("c1"), Value::str("delft")]],
+            )
+            .unwrap(),
+            Table::from_rows(
+                "t1",
+                &["customer_id", "amount"],
+                vec![vec![Value::str("c1"), Value::Float(5.0)]],
+            )
+            .unwrap(),
+            Table::from_rows(
+                "t2",
+                &["customerid", "city"],
+                vec![vec![Value::str("c1"), Value::str("delft")]],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn transitive_matching_unions_attributes() {
+        let ts = tables();
+        let refs: Vec<&Table> = ts.iter().collect();
+        let schema = IntegratedSchema::build(&refs, MatcherKind::Hybrid, 0.4);
+        // customer_id (t0) ↔ customer_id (t1) ↔ customerid (t2) unify.
+        let id_attr = schema.attribute_index("customer_id").expect("id attribute");
+        assert_eq!(schema.attributes[id_attr].sources.len(), 3);
+        // city unifies across t0 and t2.
+        let city = schema.attribute_index("city").unwrap();
+        assert_eq!(schema.attributes[city].sources.len(), 2);
+        // amount stays alone.
+        let amount = schema.attribute_index("amount").unwrap();
+        assert_eq!(schema.attributes[amount].sources.len(), 1);
+    }
+
+    #[test]
+    fn mappings_bind_integrated_to_source_columns() {
+        let ts = tables();
+        let refs: Vec<&Table> = ts.iter().collect();
+        let schema = IntegratedSchema::build(&refs, MatcherKind::Hybrid, 0.4);
+        let m0 = schema.mapping_for(0);
+        assert_eq!(m0.bindings.len(), 2);
+        let id_attr = schema.attribute_index("customer_id").unwrap();
+        assert_eq!(m0.bindings[&id_attr], 0);
+        let m1 = schema.mapping_for(1);
+        assert_eq!(m1.bindings.len(), 2);
+    }
+
+    #[test]
+    fn shared_attributes_filter() {
+        let ts = tables();
+        let refs: Vec<&Table> = ts.iter().collect();
+        let schema = IntegratedSchema::build(&refs, MatcherKind::Hybrid, 0.4);
+        let core = schema.shared_attributes(3);
+        assert_eq!(core.len(), 1);
+        assert_eq!(core[0].name, "customer_id");
+        assert_eq!(schema.shared_attributes(2).len(), 2);
+    }
+
+    #[test]
+    fn resolve_errors_for_missing_bindings() {
+        let ts = tables();
+        let refs: Vec<&Table> = ts.iter().collect();
+        let schema = IntegratedSchema::build(&refs, MatcherKind::Hybrid, 0.4);
+        let amount = schema.attribute_index("amount").unwrap();
+        assert!(schema.resolve(amount, 1).is_ok());
+        assert!(schema.resolve(amount, 0).is_err());
+        assert!(schema.resolve(99, 0).is_err());
+    }
+}

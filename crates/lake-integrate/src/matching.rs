@@ -1,0 +1,180 @@
+//! Schema matching: finding semantically corresponding attributes between
+//! two tables (§6.3; Rahm & Bernstein's classic taxonomy).
+//!
+//! Three matchers are provided — name-based (q-gram similarity of
+//! attribute names), instance-based (domain-overlap Jaccard), and hybrid
+//! (their mean). Correspondences are made one-to-one greedily by
+//! descending score (stable under ties by column order).
+
+use lake_core::Table;
+use lake_index::qgram::qgram_similarity;
+
+/// Which signal a matcher uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatcherKind {
+    /// Attribute-name similarity only (works on empty tables).
+    Name,
+    /// Instance-value overlap only (robust to renamed attributes).
+    Instance,
+    /// Mean of both.
+    Hybrid,
+}
+
+/// A scored attribute correspondence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Correspondence {
+    /// Column index in the left table.
+    pub left: usize,
+    /// Column index in the right table.
+    pub right: usize,
+    /// Similarity score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Pairwise column similarity under a matcher.
+pub fn column_similarity(a: &Table, ai: usize, b: &Table, bi: usize, kind: MatcherKind) -> f64 {
+    let ca = &a.columns()[ai];
+    let cb = &b.columns()[bi];
+    let name = || qgram_similarity(&ca.name, &cb.name, 3);
+    let instance = || {
+        let da = ca.text_domain();
+        let db = cb.text_domain();
+        let inter = da.intersection(&db).count();
+        let union = da.len() + db.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    };
+    match kind {
+        MatcherKind::Name => name(),
+        MatcherKind::Instance => instance(),
+        MatcherKind::Hybrid => (name() + instance()) / 2.0,
+    }
+}
+
+/// Match two schemas: greedy 1:1 assignment of column pairs with score ≥
+/// `threshold`, highest scores first.
+pub fn match_schemas(
+    a: &Table,
+    b: &Table,
+    kind: MatcherKind,
+    threshold: f64,
+) -> Vec<Correspondence> {
+    let mut scored: Vec<Correspondence> = Vec::new();
+    for ai in 0..a.num_columns() {
+        for bi in 0..b.num_columns() {
+            let score = column_similarity(a, ai, b, bi, kind);
+            if score >= threshold {
+                scored.push(Correspondence { left: ai, right: bi, score });
+            }
+        }
+    }
+    scored.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .unwrap()
+            .then(x.left.cmp(&y.left))
+            .then(x.right.cmp(&y.right))
+    });
+    let mut used_left = vec![false; a.num_columns()];
+    let mut used_right = vec![false; b.num_columns()];
+    scored
+        .into_iter()
+        .filter(|c| {
+            if used_left[c.left] || used_right[c.right] {
+                false
+            } else {
+                used_left[c.left] = true;
+                used_right[c.right] = true;
+                true
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::Value;
+
+    fn left() -> Table {
+        Table::from_rows(
+            "l",
+            &["customer_id", "city", "amount"],
+            vec![
+                vec![Value::str("c1"), Value::str("delft"), Value::Float(1.0)],
+                vec![Value::str("c2"), Value::str("paris"), Value::Float(2.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn right() -> Table {
+        Table::from_rows(
+            "r",
+            &["cust_id", "town", "price"],
+            vec![
+                vec![Value::str("c1"), Value::str("delft"), Value::Float(9.0)],
+                vec![Value::str("c3"), Value::str("rome"), Value::Float(8.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn name_matcher_links_similar_names() {
+        let m = match_schemas(&left(), &right(), MatcherKind::Name, 0.2);
+        // customer_id ↔ cust_id share grams.
+        assert!(m.iter().any(|c| c.left == 0 && c.right == 0), "{m:?}");
+        // city ↔ town share none.
+        assert!(!m.iter().any(|c| c.left == 1 && c.right == 1));
+    }
+
+    #[test]
+    fn instance_matcher_links_renamed_columns() {
+        let m = match_schemas(&left(), &right(), MatcherKind::Instance, 0.2);
+        // city/town share "delft".
+        assert!(m.iter().any(|c| c.left == 1 && c.right == 1), "{m:?}");
+        // ids share "c1".
+        assert!(m.iter().any(|c| c.left == 0 && c.right == 0));
+    }
+
+    #[test]
+    fn hybrid_combines_both() {
+        let m = match_schemas(&left(), &right(), MatcherKind::Hybrid, 0.15);
+        assert!(m.iter().any(|c| c.left == 0 && c.right == 0));
+        assert!(m.iter().any(|c| c.left == 1 && c.right == 1));
+    }
+
+    #[test]
+    fn assignment_is_one_to_one() {
+        let m = match_schemas(&left(), &right(), MatcherKind::Hybrid, 0.0);
+        let mut lefts: Vec<usize> = m.iter().map(|c| c.left).collect();
+        let mut rights: Vec<usize> = m.iter().map(|c| c.right).collect();
+        lefts.sort();
+        lefts.dedup();
+        rights.sort();
+        rights.dedup();
+        assert_eq!(lefts.len(), m.len());
+        assert_eq!(rights.len(), m.len());
+    }
+
+    #[test]
+    fn threshold_filters_weak_pairs() {
+        let strict = match_schemas(&left(), &right(), MatcherKind::Name, 0.9);
+        assert!(strict.is_empty());
+    }
+
+    #[test]
+    fn identical_tables_match_perfectly() {
+        let t = left();
+        let m = match_schemas(&t, &t, MatcherKind::Hybrid, 0.5);
+        assert_eq!(m.len(), 3);
+        for c in &m {
+            assert_eq!(c.left, c.right);
+            assert!((c.score - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Auto-Validate: unsupervised data validation from data-domain patterns
+//! (Song & He, §6.5.2).
+//!
+//! "The data validation rules indicate whether the changes are significant
+//! enough, and will affect the downstream applications. The approach tries
+//! to automatically derive such rules from the machine-generated,
+//! string-valued data … it formulates the rule inference problem as an
+//! optimization problem, which balances between false-positive-rate
+//! minimization and quality issue preserving."
+//!
+//! Implementation: candidate patterns come from a generalization hierarchy
+//! over value shapes (exact format pattern → coarser class-run pattern →
+//! length-only → any). Training picks, per column, the *most specific*
+//! pattern set whose estimated false-positive rate (leave-one-out
+//! disagreement on training data) stays below a budget — tighter rules
+//! catch more corruption but risk rejecting legitimate drift, which is
+//! exactly the optimization trade-off of the paper. Validation flags a
+//! fresh batch when its pattern-violation rate is significant.
+
+use lake_index::qgram::format_pattern;
+use std::collections::BTreeMap;
+
+/// One level of the pattern-generalization hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PatternLevel {
+    /// Exact format pattern (`9+-9+` etc.).
+    Format,
+    /// Character classes without run lengths (`9-9`→ digits/dash classes).
+    Classes,
+    /// Length bucket only.
+    Length,
+    /// Accept anything (the vacuous rule).
+    Any,
+}
+
+fn abstract_at(value: &str, level: PatternLevel) -> String {
+    match level {
+        PatternLevel::Format => format_pattern(value),
+        PatternLevel::Classes => {
+            let mut out = String::new();
+            let mut last = ' ';
+            for c in value.chars() {
+                let class = if c.is_ascii_digit() {
+                    '9'
+                } else if c.is_alphabetic() {
+                    'a'
+                } else {
+                    c
+                };
+                if class != last {
+                    out.push(class);
+                    last = class;
+                }
+            }
+            out
+        }
+        PatternLevel::Length => format!("len{}", value.len().min(32)),
+        PatternLevel::Any => "*".to_string(),
+    }
+}
+
+/// A learned validation rule for one string column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRule {
+    /// The chosen generalization level.
+    pub level: PatternLevel,
+    /// Accepted patterns at that level.
+    pub accepted: Vec<String>,
+    /// Estimated false-positive rate on training data.
+    pub estimated_fpr: f64,
+}
+
+impl ValidationRule {
+    /// Does a value conform to the rule?
+    pub fn accepts(&self, value: &str) -> bool {
+        self.level == PatternLevel::Any || self.accepted.contains(&abstract_at(value, self.level))
+    }
+
+    /// Fraction of a batch violating the rule.
+    pub fn violation_rate<'a>(&self, batch: impl IntoIterator<Item = &'a str>) -> f64 {
+        let mut total = 0usize;
+        let mut bad = 0usize;
+        for v in batch {
+            total += 1;
+            if !self.accepts(v) {
+                bad += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        }
+    }
+}
+
+/// Infer the validation rule for one column's training values: choose the
+/// most specific level whose estimated FPR ≤ `fpr_budget`.
+///
+/// The FPR estimate is leave-one-out: the chance a fresh legitimate value
+/// shows a pattern seen exactly once in training (rare patterns imply an
+/// open-ended domain the rule would wrongly reject).
+pub fn infer_rule(training: &[&str], fpr_budget: f64) -> ValidationRule {
+    for level in [PatternLevel::Format, PatternLevel::Classes, PatternLevel::Length] {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for v in training {
+            *counts.entry(abstract_at(v, level)).or_insert(0) += 1;
+        }
+        let singletons: usize = counts.values().filter(|&&n| n == 1).count();
+        let fpr = if training.is_empty() {
+            1.0
+        } else {
+            singletons as f64 / training.len() as f64
+        };
+        if fpr <= fpr_budget {
+            return ValidationRule {
+                level,
+                accepted: counts.into_keys().collect(),
+                estimated_fpr: fpr,
+            };
+        }
+    }
+    ValidationRule { level: PatternLevel::Any, accepted: Vec::new(), estimated_fpr: 0.0 }
+}
+
+/// Validate a fresh batch: `true` = accept, `false` = flag for review.
+/// A batch is flagged when its violation rate exceeds the rule's expected
+/// FPR by `slack`.
+pub fn validate_batch<'a>(
+    rule: &ValidationRule,
+    batch: impl IntoIterator<Item = &'a str>,
+    slack: f64,
+) -> bool {
+    rule.violation_rate(batch) <= rule.estimated_fpr + slack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phone_like(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("06-{:04}-{:03}", i * 7 % 10_000, i % 1000)).collect()
+    }
+
+    #[test]
+    fn uniform_data_gets_a_specific_rule() {
+        let train = phone_like(100);
+        let refs: Vec<&str> = train.iter().map(String::as_str).collect();
+        let rule = infer_rule(&refs, 0.05);
+        assert_eq!(rule.level, PatternLevel::Format);
+        assert!(rule.accepts("06-1234-567"));
+        assert!(!rule.accepts("totally-different"));
+    }
+
+    #[test]
+    fn open_domain_falls_back_to_coarser_levels() {
+        // Every value a unique shape at every concrete level (alternating
+        // class runs of unique multiplicity) → the rule must generalize.
+        let train: Vec<String> = (1..=50).map(|i| "x7".repeat(i)).collect();
+        let refs: Vec<&str> = train.iter().map(String::as_str).collect();
+        let rule = infer_rule(&refs, 0.05);
+        assert!(rule.level > PatternLevel::Format, "{:?}", rule.level);
+        assert!(rule.accepts("anything at all") || rule.level != PatternLevel::Any || rule.accepts("x"));
+    }
+
+    #[test]
+    fn corrupted_batch_is_flagged_clean_batch_passes() {
+        let train = phone_like(200);
+        let refs: Vec<&str> = train.iter().map(String::as_str).collect();
+        let rule = infer_rule(&refs, 0.05);
+
+        let clean = phone_like(50);
+        let clean_refs: Vec<&str> = clean.iter().map(String::as_str).collect();
+        assert!(validate_batch(&rule, clean_refs.iter().copied(), 0.05));
+
+        // Upstream change: dashes became slashes.
+        let corrupted: Vec<String> =
+            clean.iter().map(|v| v.replace('-', "/")).collect();
+        let corrupted_refs: Vec<&str> = corrupted.iter().map(String::as_str).collect();
+        assert!(!validate_batch(&rule, corrupted_refs.iter().copied(), 0.05));
+    }
+
+    #[test]
+    fn fpr_budget_controls_specificity() {
+        // Mildly heterogeneous data: strict budget forces generalization.
+        let train: Vec<String> = (0..40)
+            .map(|i| {
+                if i % 10 == 0 {
+                    format!("id-{i}-special-{}", "q".repeat(i % 7))
+                } else {
+                    format!("id-{i:03}")
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = train.iter().map(String::as_str).collect();
+        let strict = infer_rule(&refs, 0.01);
+        let loose = infer_rule(&refs, 0.5);
+        assert!(strict.level >= loose.level);
+    }
+
+    #[test]
+    fn vacuous_rule_accepts_everything() {
+        let rule = infer_rule(&[], 0.05);
+        assert_eq!(rule.level, PatternLevel::Any);
+        assert!(rule.accepts("anything"));
+        assert!(validate_batch(&rule, ["x", "y"], 0.0));
+    }
+
+    #[test]
+    fn violation_rate_counts() {
+        let train = phone_like(100);
+        let refs: Vec<&str> = train.iter().map(String::as_str).collect();
+        let rule = infer_rule(&refs, 0.05);
+        let mixed = ["06-1111-222", "bad value"];
+        assert!((rule.violation_rate(mixed) - 0.5).abs() < 1e-9);
+    }
+}

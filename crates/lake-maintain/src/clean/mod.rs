@@ -1,0 +1,5 @@
+//! Data cleaning (§6.5): discovering rules from the lake's own data and
+//! using them to flag quality problems.
+
+pub mod autovalidate;
+pub mod clams;

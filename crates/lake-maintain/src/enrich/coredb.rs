@@ -1,0 +1,226 @@
+//! CoreDB-style semantic enrichment (§6.4.1).
+//!
+//! "CoreDB first extracts essential information representative of the
+//! original raw data, referred to as features, e.g., keywords and named
+//! entities. Then it provides services that add synonyms and stems to such
+//! features, while it connects them to open knowledge bases … CoreDB also
+//! annotates and groups the data sources in the data lake."
+//!
+//! The open knowledge base is simulated by a small curated concept
+//! catalog built over the synthetic vocabularies (the Wikidata/Google-KG
+//! substitution); stemming is a light suffix stripper; synonyms come from
+//! the shared synonym table.
+
+use lake_core::synth::vocab;
+use lake_core::{Dataset, Json};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A feature extracted from raw data.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Feature {
+    /// Surface form.
+    pub keyword: String,
+    /// Stemmed form.
+    pub stem: String,
+    /// Synonyms from the synonym service.
+    pub synonyms: Vec<String>,
+    /// Linked knowledge-base concept, if the keyword resolves.
+    pub concept: Option<String>,
+}
+
+/// Light suffix-stripping stemmer (enough for the synonym/stem service).
+pub fn stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    for suf in ["ings", "ing", "ies", "es", "s", "ed"] {
+        if let Some(base) = w.strip_suffix(suf) {
+            if base.len() >= 3 {
+                return base.to_string();
+            }
+        }
+    }
+    w
+}
+
+/// Synonyms of a word from the shared synonym table.
+pub fn synonyms(word: &str) -> Vec<String> {
+    for group in vocab::SYNONYMS {
+        if group.contains(&word) {
+            return group
+                .iter()
+                .filter(|w| **w != word)
+                .map(|w| w.to_string())
+                .collect();
+        }
+    }
+    Vec::new()
+}
+
+/// The simulated open knowledge base: term → concept curie.
+pub fn knowledge_base_lookup(term: &str) -> Option<String> {
+    let t = term.to_lowercase();
+    let concept = if vocab::CITIES.contains(&t.as_str()) {
+        "kb:City"
+    } else if vocab::COUNTRIES.contains(&t.as_str()) {
+        "kb:Country"
+    } else if vocab::COLORS.contains(&t.as_str()) {
+        "kb:Color"
+    } else if vocab::FRUITS.contains(&t.as_str()) && vocab::BRANDS.contains(&t.as_str()) {
+        "kb:Ambiguous(Fruit|Brand)"
+    } else if vocab::FRUITS.contains(&t.as_str()) {
+        "kb:Fruit"
+    } else if vocab::BRANDS.contains(&t.as_str()) {
+        "kb:Brand"
+    } else if vocab::FIRST_NAMES.contains(&t.as_str()) {
+        "kb:Person"
+    } else if vocab::PRODUCTS.contains(&t.as_str()) {
+        "kb:Product"
+    } else {
+        return None;
+    };
+    Some(concept.to_string())
+}
+
+/// Extract enriched features from a dataset.
+pub fn extract_features(dataset: &Dataset, max: usize) -> Vec<Feature> {
+    let mut keywords: BTreeSet<String> = BTreeSet::new();
+    match dataset {
+        Dataset::Table(t) => {
+            for col in t.columns() {
+                for v in col.text_domain() {
+                    keywords.insert(v);
+                }
+            }
+        }
+        Dataset::Documents(docs) => {
+            fn walk(j: &Json, out: &mut BTreeSet<String>) {
+                match j {
+                    Json::Str(s) => {
+                        out.insert(s.clone());
+                    }
+                    Json::Array(a) => a.iter().for_each(|x| walk(x, out)),
+                    Json::Object(m) => m.values().for_each(|x| walk(x, out)),
+                    _ => {}
+                }
+            }
+            docs.iter().for_each(|d| walk(d, &mut keywords));
+        }
+        Dataset::Text(t) => {
+            for w in t.split(|c: char| !c.is_alphanumeric()) {
+                if w.len() > 2 {
+                    keywords.insert(w.to_lowercase());
+                }
+            }
+        }
+        Dataset::Log(lines) => {
+            for l in lines {
+                for w in l.split_whitespace() {
+                    if w.len() > 2 && w.chars().all(char::is_alphabetic) {
+                        keywords.insert(w.to_lowercase());
+                    }
+                }
+            }
+        }
+        Dataset::Graph(_) => {}
+    }
+    keywords
+        .into_iter()
+        .take(max)
+        .map(|keyword| Feature {
+            stem: stem(&keyword),
+            synonyms: synonyms(&keyword),
+            concept: knowledge_base_lookup(&keyword),
+            keyword,
+        })
+        .collect()
+}
+
+/// Group data sources by their dominant linked concept (CoreDB's source
+/// annotation/grouping service). Sources with no linked features group
+/// under `"kb:Unknown"`.
+pub fn group_sources(features_per_source: &[(String, Vec<Feature>)]) -> BTreeMap<String, Vec<String>> {
+    let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (source, feats) in features_per_source {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in feats {
+            if let Some(c) = &f.concept {
+                *counts.entry(c.as_str()).or_insert(0) += 1;
+            }
+        }
+        let dominant = counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(c, _)| c.to_string())
+            .unwrap_or_else(|| "kb:Unknown".to_string());
+        out.entry(dominant).or_default().push(source.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::{Table, Value};
+
+    #[test]
+    fn stemmer_strips_suffixes() {
+        assert_eq!(stem("orders"), "order");
+        assert_eq!(stem("cleaning"), "clean");
+        assert_eq!(stem("cities"), "cit");
+        assert_eq!(stem("data"), "data");
+        assert_eq!(stem("es"), "es"); // too short to strip
+    }
+
+    #[test]
+    fn synonyms_come_from_shared_table() {
+        let syn = synonyms("city");
+        assert!(syn.contains(&"town".to_string()));
+        assert!(!syn.contains(&"city".to_string()));
+        assert!(synonyms("quux").is_empty());
+    }
+
+    #[test]
+    fn kb_resolves_and_flags_ambiguity() {
+        assert_eq!(knowledge_base_lookup("delft").as_deref(), Some("kb:City"));
+        assert_eq!(knowledge_base_lookup("banana").as_deref(), Some("kb:Fruit"));
+        assert_eq!(knowledge_base_lookup("samsung").as_deref(), Some("kb:Brand"));
+        assert_eq!(
+            knowledge_base_lookup("apple").as_deref(),
+            Some("kb:Ambiguous(Fruit|Brand)")
+        );
+        assert_eq!(knowledge_base_lookup("xyzzy"), None);
+    }
+
+    #[test]
+    fn features_from_table() {
+        let t = Table::from_rows(
+            "t",
+            &["city"],
+            vec![vec![Value::str("delft")], vec![Value::str("paris")]],
+        )
+        .unwrap();
+        let feats = extract_features(&Dataset::Table(t), 10);
+        assert_eq!(feats.len(), 2);
+        assert!(feats.iter().all(|f| f.concept.as_deref() == Some("kb:City")));
+    }
+
+    #[test]
+    fn features_from_text_and_grouping() {
+        let d1 = Dataset::Text("We visited delft and paris in spring".into());
+        let d2 = Dataset::Text("apple banana cherry smoothie".into());
+        let feats = vec![
+            ("travel".to_string(), extract_features(&d1, 20)),
+            ("recipes".to_string(), extract_features(&d2, 20)),
+        ];
+        let groups = group_sources(&feats);
+        assert_eq!(groups["kb:City"], vec!["travel"]);
+        assert_eq!(groups["kb:Fruit"], vec!["recipes"]);
+    }
+
+    #[test]
+    fn unknown_sources_group_as_unknown() {
+        let d = Dataset::Text("qwerty zxcvb".into());
+        let feats = vec![("mystery".to_string(), extract_features(&d, 20))];
+        let groups = group_sources(&feats);
+        assert_eq!(groups["kb:Unknown"], vec!["mystery"]);
+    }
+}

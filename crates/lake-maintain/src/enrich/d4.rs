@@ -1,0 +1,226 @@
+//! D⁴: data-driven domain discovery for structured datasets (§6.4.1).
+//!
+//! "Given a set of input tables, D⁴ discovers their semantic domains and
+//! represents each domain with a set of terms. … The complete list of the
+//! terms of a domain may come from multiple attributes, while an attribute
+//! may contain terms for several different domains. D⁴ applies a
+//! data-driven approach, i.e., it processes all the data in the given set
+//! of datasets … and copes with a large number of tables and attributes,
+//! and ambiguous terms."
+//!
+//! Implementation: build the term co-occurrence graph (terms are nodes;
+//! edge weight = number of columns containing both terms), run
+//! label-propagation community detection to obtain *local domains*, then
+//! consolidate into *strong domains* — communities supported by at least
+//! `min_columns` distinct columns. Each column is assigned the domain(s)
+//! covering most of its values.
+
+use lake_core::Table;
+use lake_ml::community::{label_propagation, UndirectedGraph};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A discovered domain: a set of terms with column support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    /// Terms representing the domain, sorted.
+    pub terms: Vec<String>,
+    /// Number of columns supporting it.
+    pub support: usize,
+}
+
+/// Result of domain discovery.
+#[derive(Debug, Clone, Default)]
+pub struct DomainDiscovery {
+    /// Strong domains, largest support first.
+    pub domains: Vec<Domain>,
+    /// Per `(table, column)`: index of its dominant domain (if any).
+    pub column_domain: BTreeMap<(usize, usize), usize>,
+}
+
+/// D⁴ configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct D4Config {
+    /// Minimum columns supporting a strong domain.
+    pub min_columns: usize,
+    /// Label-propagation rounds.
+    pub rounds: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for D4Config {
+    fn default() -> Self {
+        D4Config { min_columns: 2, rounds: 30, seed: 4 }
+    }
+}
+
+/// Run D⁴ over a table corpus (textual columns only).
+pub fn discover_domains(tables: &[Table], cfg: D4Config) -> DomainDiscovery {
+    // term → id; per column: the set of term ids.
+    let mut term_ids: HashMap<String, usize> = HashMap::new();
+    let mut terms: Vec<String> = Vec::new();
+    let mut columns: Vec<((usize, usize), BTreeSet<usize>)> = Vec::new();
+    for (ti, t) in tables.iter().enumerate() {
+        for (ci, col) in t.columns().iter().enumerate() {
+            if col.inferred_type() != lake_core::DataType::Str {
+                continue;
+            }
+            let mut ids = BTreeSet::new();
+            for v in col.text_domain() {
+                let next = terms.len();
+                let id = *term_ids.entry(v.clone()).or_insert_with(|| {
+                    terms.push(v.clone());
+                    next
+                });
+                ids.insert(id);
+            }
+            if !ids.is_empty() {
+                columns.push(((ti, ci), ids));
+            }
+        }
+    }
+
+    // Column-similarity graph: columns are nodes, edge weight = Jaccard of
+    // their local domains (their term sets). Clustering *columns* rather
+    // than terms is what makes the approach robust to ambiguous terms: a
+    // homograph contributes only a small fraction of the overlap between a
+    // fruit column and a brand column, so it cannot bridge the domains.
+    let mut g = UndirectedGraph::with_nodes(columns.len());
+    for a in 0..columns.len() {
+        for b in a + 1..columns.len() {
+            let inter = columns[a].1.intersection(&columns[b].1).count();
+            if inter == 0 {
+                continue;
+            }
+            let union = columns[a].1.len() + columns[b].1.len() - inter;
+            g.add_edge(a, b, inter as f64 / union as f64);
+        }
+    }
+    let communities = label_propagation(&g, cfg.rounds, cfg.seed);
+
+    // One candidate domain per column community: terms present in at
+    // least half the member columns (ambiguous terms may qualify in
+    // several domains — "an attribute may contain terms for several
+    // different domains" and vice versa).
+    let mut by_comm: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (ci, &c) in communities.iter().enumerate() {
+        by_comm.entry(c).or_default().push(ci);
+    }
+    let mut domains: Vec<(usize, Domain)> = by_comm
+        .iter()
+        .filter_map(|(&c, members)| {
+            if members.len() < cfg.min_columns {
+                return None;
+            }
+            let mut term_count: HashMap<usize, usize> = HashMap::new();
+            for &ci in members {
+                for &t in &columns[ci].1 {
+                    *term_count.entry(t).or_insert(0) += 1;
+                }
+            }
+            let need = members.len().div_ceil(2);
+            let mut ts: Vec<String> = term_count
+                .into_iter()
+                .filter(|&(_, n)| n >= need)
+                .map(|(t, _)| terms[t].clone())
+                .collect();
+            if ts.len() < 2 {
+                return None;
+            }
+            ts.sort();
+            Some((c, Domain { terms: ts, support: members.len() }))
+        })
+        .collect();
+    domains.sort_by(|a, b| b.1.support.cmp(&a.1.support).then(a.1.terms.cmp(&b.1.terms)));
+
+    // Column → its community's domain.
+    let comm_of_domain: Vec<usize> = domains.iter().map(|&(c, _)| c).collect();
+    let mut column_domain = BTreeMap::new();
+    for (ci, (at, _)) in columns.iter().enumerate() {
+        if let Some(di) = comm_of_domain.iter().position(|&c| c == communities[ci]) {
+            column_domain.insert(*at, di);
+        }
+    }
+
+    DomainDiscovery {
+        domains: domains.into_iter().map(|(_, d)| d).collect(),
+        column_domain,
+    }
+}
+
+impl DomainDiscovery {
+    /// The domain containing a term, if any.
+    pub fn domain_of_term(&self, term: &str) -> Option<usize> {
+        self.domains
+            .iter()
+            .position(|d| d.terms.iter().any(|t| t == term))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::synth::generate_domain_corpus;
+
+    #[test]
+    fn recovers_planted_domains() {
+        let (tables, labels) = generate_domain_corpus(11, 4, 80);
+        let disc = discover_domains(&tables, D4Config::default());
+        assert!(disc.domains.len() >= 3, "found {} domains", disc.domains.len());
+        // Color terms should land in one domain together.
+        let red = disc.domain_of_term("red").expect("red in a domain");
+        for t in ["white", "green", "blue"] {
+            assert_eq!(disc.domain_of_term(t), Some(red), "{t}");
+        }
+        // Cities in another.
+        let ams = disc.domain_of_term("amsterdam").expect("city domain");
+        assert_ne!(ams, red);
+        let _ = labels;
+    }
+
+    #[test]
+    fn columns_are_assigned_their_domain() {
+        let (tables, labels) = generate_domain_corpus(11, 4, 80);
+        let disc = discover_domains(&tables, D4Config::default());
+        // Columns of the same planted domain share the assignment.
+        let mut by_label: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+        for (tname, col, dom) in &labels {
+            let ti = tables.iter().position(|t| &t.name == tname).unwrap();
+            let ci = tables[ti].column_index(col).unwrap();
+            if let Some(&di) = disc.column_domain.get(&(ti, ci)) {
+                by_label.entry(dom.as_str()).or_default().insert(di);
+            }
+        }
+        // color and city corpora are unambiguous: exactly one domain each.
+        assert_eq!(by_label["color"].len(), 1, "{by_label:?}");
+        assert_eq!(by_label["city"].len(), 1, "{by_label:?}");
+    }
+
+    #[test]
+    fn ambiguous_terms_do_not_merge_unrelated_domains() {
+        // fruit and brand share homographs (apple, blackberry, kiwi) but
+        // their non-shared terms must not collapse into one domain.
+        let (tables, _) = generate_domain_corpus(11, 4, 80);
+        let disc = discover_domains(&tables, D4Config::default());
+        let banana = disc.domain_of_term("banana");
+        let samsung = disc.domain_of_term("samsung");
+        match (banana, samsung) {
+            (Some(f), Some(b)) => assert_ne!(f, b, "fruit and brand domains merged"),
+            _ => panic!("fruit/brand domains missing"),
+        }
+    }
+
+    #[test]
+    fn empty_and_numeric_only_input() {
+        let disc = discover_domains(&[], D4Config::default());
+        assert!(disc.domains.is_empty());
+        let t = Table::from_rows(
+            "n",
+            &["x"],
+            vec![vec![lake_core::Value::Int(1)], vec![lake_core::Value::Int(2)]],
+        )
+        .unwrap();
+        let disc2 = discover_domains(&[t], D4Config::default());
+        assert!(disc2.domains.is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! DomainNet: homograph detection for data lake disambiguation (§6.4.1).
+//!
+//! "When the value Apple appears in multiple tables of a data lake,
+//! DomainNet tries to find out if it represents the semantics of one
+//! domain (fruit or brand), or both. … Its proposed approach includes
+//! building a network graph using data values and attribute names,
+//! followed by applying community detection over such a network."
+//!
+//! Implementation: the bipartite value–column network is projected onto
+//! columns (edges weighted by shared distinct values *excluding* the value
+//! under test); communities over the column projection approximate
+//! domains; a value's *homograph score* is the number of distinct column
+//! communities it appears in. Scores ≥ 2 flag homographs.
+
+use lake_core::Table;
+use lake_ml::community::{label_propagation, UndirectedGraph};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The DomainNet analysis result.
+#[derive(Debug, Clone, Default)]
+pub struct DomainNet {
+    /// Column identities `(table, column)` in graph order.
+    pub columns: Vec<(usize, usize)>,
+    /// Community id per column.
+    pub column_community: Vec<usize>,
+    /// value → set of communities it occurs in.
+    value_communities: BTreeMap<String, BTreeSet<usize>>,
+}
+
+/// Build the network and detect communities.
+pub fn analyze(tables: &[Table], seed: u64) -> DomainNet {
+    // Textual columns and their domains.
+    let mut columns: Vec<(usize, usize)> = Vec::new();
+    let mut domains: Vec<BTreeSet<String>> = Vec::new();
+    for (ti, t) in tables.iter().enumerate() {
+        for (ci, col) in t.columns().iter().enumerate() {
+            if col.inferred_type() == lake_core::DataType::Str {
+                columns.push((ti, ci));
+                domains.push(col.text_domain());
+            }
+        }
+    }
+    // Column projection of the bipartite graph: weight = |shared values|,
+    // normalized by the smaller domain. Single shared values (potential
+    // homographs) yield weak edges that community detection can cut.
+    let mut g = UndirectedGraph::with_nodes(columns.len());
+    for a in 0..columns.len() {
+        for b in a + 1..columns.len() {
+            let inter = domains[a].intersection(&domains[b]).count();
+            if inter == 0 {
+                continue;
+            }
+            let denom = domains[a].len().min(domains[b].len()).max(1);
+            g.add_edge(a, b, inter as f64 / denom as f64);
+        }
+    }
+    let column_community = label_propagation(&g, 40, seed);
+
+    // Value → communities.
+    let mut value_communities: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    for (i, dom) in domains.iter().enumerate() {
+        for v in dom {
+            value_communities
+                .entry(v.clone())
+                .or_default()
+                .insert(column_community[i]);
+        }
+    }
+    DomainNet { columns, column_community, value_communities }
+}
+
+impl DomainNet {
+    /// Homograph score of a value: how many distinct domains it spans.
+    pub fn homograph_score(&self, value: &str) -> usize {
+        self.value_communities.get(value).map_or(0, BTreeSet::len)
+    }
+
+    /// Values spanning at least two domains, best-scoring first.
+    pub fn homographs(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .value_communities
+            .iter()
+            .filter(|(_, c)| c.len() >= 2)
+            .map(|(v, c)| (v.clone(), c.len()))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of column communities (approximated domains).
+    pub fn num_communities(&self) -> usize {
+        let mut c: Vec<usize> = self.column_community.clone();
+        c.sort_unstable();
+        c.dedup();
+        c.len()
+    }
+}
+
+/// Convenience view used by the E7 experiment: community per `(t, c)`.
+pub fn column_assignment(net: &DomainNet) -> HashMap<(usize, usize), usize> {
+    net.columns
+        .iter()
+        .zip(&net.column_community)
+        .map(|(&at, &c)| (at, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::synth::generate_domain_corpus;
+
+    #[test]
+    fn homographs_span_fruit_and_brand() {
+        let (tables, _) = generate_domain_corpus(13, 4, 100);
+        let net = analyze(&tables, 5);
+        assert!(net.num_communities() >= 3);
+        // Planted homographs span ≥ 2 communities…
+        for h in ["apple", "blackberry", "kiwi"] {
+            assert!(
+                net.homograph_score(h) >= 2,
+                "{h} score {}",
+                net.homograph_score(h)
+            );
+        }
+        // …unambiguous values do not.
+        for v in ["banana", "samsung", "amsterdam", "red"] {
+            assert_eq!(net.homograph_score(v), 1, "{v}");
+        }
+        let hs = net.homographs();
+        assert!(hs.iter().any(|(v, _)| v == "apple"));
+        assert!(!hs.iter().any(|(v, _)| v == "banana"));
+    }
+
+    #[test]
+    fn same_domain_columns_share_community() {
+        let (tables, labels) = generate_domain_corpus(13, 4, 100);
+        let net = analyze(&tables, 5);
+        let assign = column_assignment(&net);
+        let mut by_label: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+        for (tname, col, dom) in &labels {
+            let ti = tables.iter().position(|t| &t.name == tname).unwrap();
+            let ci = tables[ti].column_index(col).unwrap();
+            if let Some(&c) = assign.get(&(ti, ci)) {
+                by_label.entry(dom.as_str()).or_default().insert(c);
+            }
+        }
+        assert_eq!(by_label["city"].len(), 1, "{by_label:?}");
+        assert_eq!(by_label["color"].len(), 1, "{by_label:?}");
+        // Fruit and brand must be *different* communities despite homographs.
+        assert_ne!(by_label["fruit"], by_label["brand"]);
+    }
+
+    #[test]
+    fn unknown_value_scores_zero() {
+        let (tables, _) = generate_domain_corpus(13, 2, 40);
+        let net = analyze(&tables, 5);
+        assert_eq!(net.homograph_score("nonexistent"), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let net = analyze(&[], 1);
+        assert_eq!(net.num_communities(), 0);
+        assert!(net.homographs().is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+//! Metadata enrichment (§6.4): computing "more hidden" metadata from raw
+//! data — semantic domains, homographs, relaxed dependencies, features.
+
+pub mod coredb;
+pub mod d4;
+pub mod domainnet;
+pub mod rfd;

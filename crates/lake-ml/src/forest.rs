@@ -1,0 +1,166 @@
+//! A random forest: bootstrap-sampled, feature-subsampled decision trees.
+//!
+//! DLN "builds random-forest classification models" over metadata and data
+//! features to discover related columns at enterprise scale (§6.2.4).
+
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Per-tree growing config (its `max_features` is set from
+    /// `features_per_split` if provided here).
+    pub tree: TreeConfig,
+    /// Features considered per split (None = sqrt of feature count).
+    pub features_per_split: Option<usize>,
+    /// RNG seed for bootstraps and feature subsets.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { num_trees: 25, tree: TreeConfig::default(), features_per_split: None, seed: 42 }
+    }
+}
+
+/// A trained random-forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    num_classes: usize,
+}
+
+impl RandomForest {
+    /// Fit the forest.
+    pub fn fit(samples: &[Vec<f64>], labels: &[usize], num_classes: usize, cfg: ForestConfig) -> RandomForest {
+        assert!(!samples.is_empty(), "cannot fit on an empty dataset");
+        let n = samples.len();
+        let n_features = samples[0].len();
+        let per_split = cfg
+            .features_per_split
+            .unwrap_or_else(|| (n_features as f64).sqrt().ceil() as usize)
+            .clamp(1, n_features);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut trees = Vec::with_capacity(cfg.num_trees);
+        for _ in 0..cfg.num_trees {
+            // Bootstrap sample.
+            let mut bs_x = Vec::with_capacity(n);
+            let mut bs_y = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.random_range(0..n);
+                bs_x.push(samples[i].clone());
+                bs_y.push(labels[i]);
+            }
+            // Random feature order; the tree looks at the first `per_split`.
+            let mut order: Vec<usize> = (0..n_features).collect();
+            lake_core::synth::shuffle(&mut order, &mut rng);
+            let tree_cfg = TreeConfig { max_features: Some(per_split), ..cfg.tree };
+            trees.push(DecisionTree::fit_with_feature_order(
+                &bs_x,
+                &bs_y,
+                num_classes,
+                tree_cfg,
+                Some(&order),
+            ));
+        }
+        RandomForest { trees, num_classes }
+    }
+
+    /// Mean class-probability vector across trees.
+    pub fn predict_proba(&self, sample: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0; self.num_classes];
+        for t in &self.trees {
+            for (a, p) in acc.iter_mut().zip(t.predict_proba(sample)) {
+                *a += p;
+            }
+        }
+        let n = self.trees.len().max(1) as f64;
+        acc.iter_mut().for_each(|a| *a /= n);
+        acc
+    }
+
+    /// Majority-vote class.
+    pub fn predict(&self, sample: &[f64]) -> usize {
+        self.predict_proba(sample)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two noisy gaussian-ish blobs.
+    fn blobs(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let cx = if class == 0 { 0.0 } else { 3.0 };
+            xs.push(vec![
+                cx + rng.random::<f64>() - 0.5,
+                cx + rng.random::<f64>() - 0.5,
+                rng.random::<f64>(), // noise feature
+            ]);
+            ys.push(class);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn forest_classifies_blobs() {
+        let (xs, ys) = blobs(1, 200);
+        let forest = RandomForest::fit(&xs, &ys, 2, ForestConfig::default());
+        let (tx, ty) = blobs(2, 100);
+        let acc = tx
+            .iter()
+            .zip(&ty)
+            .filter(|(x, y)| forest.predict(x) == **y)
+            .count() as f64
+            / tx.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (xs, ys) = blobs(3, 100);
+        let forest = RandomForest::fit(&xs, &ys, 2, ForestConfig::default());
+        let p = forest.predict_proba(&xs[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = blobs(4, 100);
+        let a = RandomForest::fit(&xs, &ys, 2, ForestConfig::default());
+        let b = RandomForest::fit(&xs, &ys, 2, ForestConfig::default());
+        for x in xs.iter().take(20) {
+            assert_eq!(a.predict_proba(x), b.predict_proba(x));
+        }
+        assert_eq!(a.num_trees(), 25);
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let (xs, ys) = blobs(5, 60);
+        let cfg = ForestConfig { num_trees: 1, ..Default::default() };
+        let f = RandomForest::fit(&xs, &ys, 2, cfg);
+        assert_eq!(f.num_trees(), 1);
+        let _ = f.predict(&xs[0]);
+    }
+}

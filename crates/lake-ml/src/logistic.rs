@@ -1,0 +1,157 @@
+//! Binary logistic regression via full-batch gradient descent.
+//!
+//! D³L "trains a binary classifier over a training dataset with relatedness
+//! ground truth, and applies the coefficients of the trained model as the
+//! weight of features for distance calculation" (§6.2.1). The learned
+//! [`LogisticRegression::weights`] are exactly those coefficients. RNLIM's
+//! classification head is the same model over embedding-similarity signals.
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticConfig {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Full-batch iterations.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig { learning_rate: 0.5, epochs: 400, l2: 1e-4 }
+    }
+}
+
+/// A trained binary logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Fit on samples with boolean labels.
+    pub fn fit(samples: &[Vec<f64>], labels: &[bool], cfg: LogisticConfig) -> LogisticRegression {
+        assert_eq!(samples.len(), labels.len());
+        assert!(!samples.is_empty(), "cannot fit on an empty dataset");
+        let d = samples[0].len();
+        let n = samples.len() as f64;
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        for _ in 0..cfg.epochs {
+            let mut gw = vec![0.0; d];
+            let mut gb = 0.0;
+            for (x, &y) in samples.iter().zip(labels) {
+                let z = b + x.iter().zip(&w).map(|(xi, wi)| xi * wi).sum::<f64>();
+                let err = sigmoid(z) - if y { 1.0 } else { 0.0 };
+                for (g, xi) in gw.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= cfg.learning_rate * (g / n + cfg.l2 * *wi);
+            }
+            b -= cfg.learning_rate * gb / n;
+        }
+        LogisticRegression { weights: w, bias: b }
+    }
+
+    /// Probability of the positive class.
+    pub fn predict_proba(&self, sample: &[f64]) -> f64 {
+        let z = self.bias
+            + sample
+                .iter()
+                .zip(&self.weights)
+                .map(|(x, w)| x * w)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Hard classification at threshold 0.5.
+    pub fn predict(&self, sample: &[f64]) -> bool {
+        self.predict_proba(sample) >= 0.5
+    }
+
+    /// Learned feature coefficients (the D³L feature weights).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Coefficients normalized to sum 1 after clamping negatives to 0 —
+    /// the form D³L uses for its weighted-distance combination.
+    pub fn normalized_weights(&self) -> Vec<f64> {
+        let clamped: Vec<f64> = self.weights.iter().map(|w| w.max(0.0)).collect();
+        let s: f64 = clamped.iter().sum();
+        if s == 0.0 {
+            vec![1.0 / clamped.len().max(1) as f64; clamped.len()]
+        } else {
+            clamped.into_iter().map(|w| w / s).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_data_is_learned() {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 10.0]).collect();
+        let ys: Vec<bool> = (0..60).map(|i| i >= 30).collect();
+        let m = LogisticRegression::fit(&xs, &ys, LogisticConfig::default());
+        assert!(!m.predict(&[0.5]));
+        assert!(m.predict(&[5.5]));
+        assert!(m.predict_proba(&[6.0]) > 0.9);
+        assert!(m.predict_proba(&[0.0]) < 0.1);
+    }
+
+    #[test]
+    fn informative_feature_gets_larger_weight() {
+        // Feature 0 determines the label, feature 1 is constant noise.
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }, 0.3])
+            .collect();
+        let ys: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let m = LogisticRegression::fit(&xs, &ys, LogisticConfig::default());
+        assert!(m.weights()[0].abs() > m.weights()[1].abs() * 5.0, "{:?}", m.weights());
+        let nw = m.normalized_weights();
+        assert!((nw.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(nw[0] > nw[1]);
+    }
+
+    #[test]
+    fn probability_is_monotone_in_score() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![false, true];
+        let m = LogisticRegression::fit(&xs, &ys, LogisticConfig::default());
+        assert!(m.predict_proba(&[2.0]) > m.predict_proba(&[1.0]));
+        assert!(m.predict_proba(&[1.0]) > m.predict_proba(&[0.0]));
+    }
+
+    #[test]
+    fn all_negative_weights_normalize_to_uniform() {
+        // Inverted feature: weight will be negative.
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![-(i as f64)]).collect();
+        let ys: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let m = LogisticRegression::fit(&xs, &ys, LogisticConfig::default());
+        assert!(m.weights()[0] < 0.0);
+        assert_eq!(m.normalized_weights(), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        LogisticRegression::fit(&[], &[], LogisticConfig::default());
+    }
+}

@@ -1,0 +1,286 @@
+//! A CART-style binary decision tree (Gini impurity, axis-aligned splits).
+
+/// Tree-growing hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Consider only this many features per split (None = all) — the
+    /// random-forest feature-subsampling hook.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 12, min_samples_split: 2, max_features: None }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Class probabilities, indexed by class id.
+        probs: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained decision tree classifier over dense `f64` features and
+/// `usize` class labels in `0..num_classes`.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    num_classes: usize,
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+fn class_counts(labels: &[usize], idx: &[usize], num_classes: usize) -> Vec<usize> {
+    let mut c = vec![0usize; num_classes];
+    for &i in idx {
+        c[labels[i]] += 1;
+    }
+    c
+}
+
+impl DecisionTree {
+    /// Fit a tree on `samples` (rows of equal length) and `labels`.
+    ///
+    /// `feature_order` optionally fixes which features are considered at
+    /// every node (the random forest passes a per-tree shuffled order and
+    /// `max_features` truncates it); `None` uses all features in order.
+    pub fn fit_with_feature_order(
+        samples: &[Vec<f64>],
+        labels: &[usize],
+        num_classes: usize,
+        cfg: TreeConfig,
+        feature_order: Option<&[usize]>,
+    ) -> DecisionTree {
+        assert_eq!(samples.len(), labels.len());
+        assert!(!samples.is_empty(), "cannot fit on an empty dataset");
+        let n_features = samples[0].len();
+        let default_order: Vec<usize> = (0..n_features).collect();
+        let order = feature_order.unwrap_or(&default_order);
+        let idx: Vec<usize> = (0..samples.len()).collect();
+        let root = Self::grow(samples, labels, num_classes, &idx, 0, cfg, order);
+        DecisionTree { root, num_classes }
+    }
+
+    /// Fit with default feature handling.
+    pub fn fit(samples: &[Vec<f64>], labels: &[usize], num_classes: usize, cfg: TreeConfig) -> DecisionTree {
+        Self::fit_with_feature_order(samples, labels, num_classes, cfg, None)
+    }
+
+    fn leaf(labels: &[usize], idx: &[usize], num_classes: usize) -> Node {
+        let counts = class_counts(labels, idx, num_classes);
+        let total = idx.len().max(1) as f64;
+        Node::Leaf { probs: counts.iter().map(|&c| c as f64 / total).collect() }
+    }
+
+    fn grow(
+        samples: &[Vec<f64>],
+        labels: &[usize],
+        num_classes: usize,
+        idx: &[usize],
+        depth: usize,
+        cfg: TreeConfig,
+        order: &[usize],
+    ) -> Node {
+        let counts = class_counts(labels, idx, num_classes);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+            return Self::leaf(labels, idx, num_classes);
+        }
+
+        let limit = cfg.max_features.unwrap_or(order.len()).min(order.len());
+        let parent_gini = gini(&counts, idx.len());
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity gain)
+
+        for &f in &order[..limit] {
+            // Candidate thresholds: midpoints of sorted distinct values.
+            let mut vals: Vec<f64> = idx.iter().map(|&i| samples[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            vals.dedup();
+            for w in vals.windows(2) {
+                let thr = (w[0] + w[1]) / 2.0;
+                let (mut lc, mut rc) = (vec![0usize; num_classes], vec![0usize; num_classes]);
+                let (mut ln, mut rn) = (0usize, 0usize);
+                for &i in idx {
+                    if samples[i][f] <= thr {
+                        lc[labels[i]] += 1;
+                        ln += 1;
+                    } else {
+                        rc[labels[i]] += 1;
+                        rn += 1;
+                    }
+                }
+                if ln == 0 || rn == 0 {
+                    continue;
+                }
+                let weighted = (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / idx.len() as f64;
+                let gain = parent_gini - weighted;
+                if gain > best.map_or(1e-12, |(_, _, g)| g) {
+                    best = Some((f, thr, gain));
+                }
+            }
+        }
+
+        // XOR-like targets have no single split with positive Gini gain at
+        // the root; fall back to a median split on the first splittable
+        // feature so deeper levels can still separate the classes.
+        let fallback = || {
+            for &f in &order[..limit] {
+                let mut vals: Vec<f64> = idx.iter().map(|&i| samples[i][f]).collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                vals.dedup();
+                if vals.len() >= 2 {
+                    let mid = vals.len() / 2;
+                    return Some((f, (vals[mid - 1] + vals[mid]) / 2.0, 0.0));
+                }
+            }
+            None
+        };
+        let Some((feature, threshold, _)) = best.or_else(fallback) else {
+            return Self::leaf(labels, idx, num_classes);
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| samples[i][feature] <= threshold);
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(Self::grow(samples, labels, num_classes, &left_idx, depth + 1, cfg, order)),
+            right: Box::new(Self::grow(samples, labels, num_classes, &right_idx, depth + 1, cfg, order)),
+        }
+    }
+
+    /// Class-probability vector for one sample.
+    pub fn predict_proba(&self, sample: &[f64]) -> Vec<f64> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { probs } => return probs.clone(),
+                Node::Split { feature, threshold, left, right } => {
+                    node = if sample.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Most probable class for one sample.
+    pub fn predict(&self, sample: &[f64]) -> usize {
+        let p = self.predict_proba(sample);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Number of classes the tree was trained with.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Tree depth (longest root-to-leaf path).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..10 {
+                    xs.push(vec![a as f64, b as f64]);
+                    ys.push((a ^ b) as usize);
+                }
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (xs, ys) = xor_data();
+        let tree = DecisionTree::fit(&xs, &ys, 2, TreeConfig::default());
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(tree.predict(x), *y);
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_data_is_single_leaf() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![1, 1, 1];
+        let tree = DecisionTree::fit(&xs, &ys, 2, TreeConfig::default());
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[99.0]), 1);
+        assert_eq!(tree.predict_proba(&[0.0]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let (xs, ys) = xor_data();
+        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let tree = DecisionTree::fit(&xs, &ys, 2, cfg);
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn linearly_separable_generalizes() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let tree = DecisionTree::fit(&xs, &ys, 2, TreeConfig::default());
+        assert_eq!(tree.predict(&[5.0]), 0);
+        assert_eq!(tree.predict(&[35.0]), 1);
+        assert_eq!(tree.predict(&[-100.0]), 0);
+        assert_eq!(tree.predict(&[100.0]), 1);
+    }
+
+    #[test]
+    fn feature_subsampling_restricts_splits() {
+        // Class depends only on feature 1; restrict tree to feature 0.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![0.0, i as f64]).collect();
+        let ys: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let order = [0usize];
+        let cfg = TreeConfig { max_features: Some(1), ..Default::default() };
+        let tree = DecisionTree::fit_with_feature_order(&xs, &ys, 2, cfg, Some(&order));
+        assert_eq!(tree.depth(), 0, "no useful split available on feature 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        DecisionTree::fit(&[], &[], 2, TreeConfig::default());
+    }
+}

@@ -1,0 +1,296 @@
+//! Juneau's notebook machinery (§6.1.3, Table 2 row 4; §6.7).
+//!
+//! "A workflow graph is a directed bipartite graph with two types of
+//! nodes: data object nodes … and computational module nodes representing
+//! code cells … Juneau also has a DAG for managing the relationships of
+//! variables in notebooks, referred to as variable dependency graphs. In a
+//! variable dependency graph, nodes represent the variables, and the
+//! labeled, directed edges indicate that one variable is computed using
+//! another variable through a function. Via subgraph isomorphism, Juneau
+//! is able to discover tables sharing similar workflows."
+
+use crate::DagDescription;
+use lake_core::stats::jaccard;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One cell of a computational notebook: a function applied to input
+/// variables producing an output variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Function / operation name (`read_csv`, `dropna`, `merge`, …).
+    pub function: String,
+    /// Input variable names.
+    pub inputs: Vec<String>,
+    /// Output variable name.
+    pub output: String,
+}
+
+/// A notebook: an ordered list of cells.
+#[derive(Debug, Clone, Default)]
+pub struct Notebook {
+    /// Notebook name.
+    pub name: String,
+    /// Cells in execution order.
+    pub cells: Vec<Cell>,
+}
+
+impl Notebook {
+    /// A notebook with a name.
+    pub fn new(name: &str) -> Notebook {
+        Notebook { name: name.to_string(), cells: Vec::new() }
+    }
+
+    /// Append a cell.
+    pub fn cell(&mut self, function: &str, inputs: &[&str], output: &str) -> &mut Self {
+        self.cells.push(Cell {
+            function: function.to_string(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            output: output.to_string(),
+        });
+        self
+    }
+}
+
+/// The bipartite workflow graph: data-object nodes ↔ module nodes.
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowGraph {
+    /// Data-object node names.
+    pub data_nodes: BTreeSet<String>,
+    /// Module (cell) nodes: `(function, index)`.
+    pub module_nodes: Vec<String>,
+    /// data → module edges (input).
+    pub inputs: Vec<(String, usize)>,
+    /// module → data edges (output).
+    pub outputs: Vec<(usize, String)>,
+}
+
+impl WorkflowGraph {
+    /// Build from a notebook.
+    pub fn from_notebook(nb: &Notebook) -> WorkflowGraph {
+        let mut g = WorkflowGraph::default();
+        for (mi, c) in nb.cells.iter().enumerate() {
+            g.module_nodes.push(c.function.clone());
+            for i in &c.inputs {
+                g.data_nodes.insert(i.clone());
+                g.inputs.push((i.clone(), mi));
+            }
+            g.data_nodes.insert(c.output.clone());
+            g.outputs.push((mi, c.output.clone()));
+        }
+        g
+    }
+
+    /// Bipartiteness invariant: every edge joins a data node and a module.
+    pub fn is_bipartite(&self) -> bool {
+        self.inputs.iter().all(|(d, m)| self.data_nodes.contains(d) && *m < self.module_nodes.len())
+            && self
+                .outputs
+                .iter()
+                .all(|(m, d)| self.data_nodes.contains(d) && *m < self.module_nodes.len())
+    }
+}
+
+/// The variable-dependency DAG: variables as nodes; a labeled directed
+/// edge `u --f--> v` when `v` is computed from `u` through function `f`.
+#[derive(Debug, Clone, Default)]
+pub struct VariableDependencyGraph {
+    /// Edges: (from variable, function label, to variable).
+    pub edges: Vec<(String, String, String)>,
+}
+
+impl VariableDependencyGraph {
+    /// Build from a notebook.
+    pub fn from_notebook(nb: &Notebook) -> VariableDependencyGraph {
+        let mut g = VariableDependencyGraph::default();
+        for c in &nb.cells {
+            for i in &c.inputs {
+                g.edges.push((i.clone(), c.function.clone(), c.output.clone()));
+            }
+        }
+        g
+    }
+
+    /// All variables.
+    pub fn variables(&self) -> BTreeSet<&str> {
+        self.edges
+            .iter()
+            .flat_map(|(a, _, b)| [a.as_str(), b.as_str()])
+            .collect()
+    }
+
+    /// Variables that (transitively) affect `var`, with the functions on
+    /// the paths — Juneau's "find all other variables affecting v".
+    pub fn ancestors_of(&self, var: &str) -> BTreeMap<String, BTreeSet<String>> {
+        let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut frontier = vec![var.to_string()];
+        while let Some(v) = frontier.pop() {
+            for (from, f, to) in &self.edges {
+                if *to == v && from != var {
+                    let entry = out.entry(from.clone()).or_default();
+                    if entry.insert(f.clone()) {
+                        frontier.push(from.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The *provenance signature* of a variable: the multiset of function
+    /// labels on its derivation cone (exported to `lake-discovery`'s
+    /// Juneau provenance signal).
+    pub fn provenance_signature(&self, var: &str) -> Vec<String> {
+        let mut sig: Vec<String> = Vec::new();
+        let mut seen_edges = BTreeSet::new();
+        let mut frontier = vec![var.to_string()];
+        while let Some(v) = frontier.pop() {
+            for (i, (from, f, to)) in self.edges.iter().enumerate() {
+                if *to == v && seen_edges.insert(i) {
+                    sig.push(f.clone());
+                    frontier.push(from.clone());
+                }
+            }
+        }
+        sig.sort();
+        sig
+    }
+
+    /// Workflow (provenance) similarity of two variables: Jaccard of
+    /// their provenance signatures — the practical surrogate Juneau uses
+    /// in place of full subgraph isomorphism for ranking.
+    pub fn provenance_similarity(&self, a: &str, other: &VariableDependencyGraph, b: &str) -> f64 {
+        let sa = self.provenance_signature(a);
+        let sb = other.provenance_signature(b);
+        if sa.is_empty() && sb.is_empty() {
+            return 0.0;
+        }
+        jaccard(&sa, &sb)
+    }
+
+    /// Exact labeled-subgraph check: does every `(function)` edge chain of
+    /// `pattern` embed into this graph (respecting direction and labels)?
+    /// Used for the "tables sharing similar workflows" discovery on small
+    /// patterns.
+    pub fn contains_chain(&self, pattern: &[&str]) -> bool {
+        if pattern.is_empty() {
+            return true;
+        }
+        // Start anywhere: find edges with the first label and walk.
+        fn walk(g: &VariableDependencyGraph, at: &str, rest: &[&str]) -> bool {
+            if rest.is_empty() {
+                return true;
+            }
+            g.edges
+                .iter()
+                .any(|(from, f, to)| from == at && f == rest[0] && walk(g, to, &rest[1..]))
+        }
+        self.edges
+            .iter()
+            .filter(|(_, f, _)| f == pattern[0])
+            .any(|(_, _, to)| walk(self, to, &pattern[1..]))
+    }
+
+    /// Table 2 row for the variable-dependency DAG.
+    pub fn describe(&self) -> DagDescription {
+        DagDescription {
+            system: "Juneau (variable dependency)",
+            function: "Measure table relatedness w.r.t. notebook workflow",
+            node: "Notebook variables",
+            edge: "Notebook functions (as edge labels)",
+            edge_direction: "From the input variable of the function to the output variable",
+            nodes_built: self.variables().len(),
+            edges_built: self.edges.len(),
+        }
+    }
+}
+
+/// A deterministic synthetic notebook session (the Jupyter-corpus
+/// substitution from DESIGN.md): `steps` chained data-science operations.
+pub fn synth_notebook(name: &str, steps: &[&str]) -> Notebook {
+    let mut nb = Notebook::new(name);
+    let mut prev = "raw".to_string();
+    nb.cell("read_csv", &["path"], &prev.clone());
+    for (i, op) in steps.iter().enumerate() {
+        let out = format!("df{i}");
+        nb.cell(op, &[prev.as_str()], &out);
+        prev = out;
+    }
+    nb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Notebook {
+        let mut nb = Notebook::new("analysis");
+        nb.cell("read_csv", &["path"], "raw")
+            .cell("dropna", &["raw"], "clean")
+            .cell("read_csv", &["path2"], "other")
+            .cell("merge", &["clean", "other"], "joined")
+            .cell("groupby", &["joined"], "report");
+        nb
+    }
+
+    #[test]
+    fn workflow_graph_is_bipartite() {
+        let g = WorkflowGraph::from_notebook(&sample());
+        assert!(g.is_bipartite());
+        assert_eq!(g.module_nodes.len(), 5);
+        assert!(g.data_nodes.contains("joined"));
+        // merge has two input edges.
+        assert_eq!(g.inputs.iter().filter(|(_, m)| *m == 3).count(), 2);
+    }
+
+    #[test]
+    fn variable_graph_edges_are_labeled_and_directed() {
+        let g = VariableDependencyGraph::from_notebook(&sample());
+        assert!(g
+            .edges
+            .contains(&("clean".to_string(), "merge".to_string(), "joined".to_string())));
+        assert_eq!(g.variables().len(), 7);
+    }
+
+    #[test]
+    fn ancestors_walk_transitively() {
+        let g = VariableDependencyGraph::from_notebook(&sample());
+        let anc = g.ancestors_of("report");
+        assert!(anc.contains_key("raw"));
+        assert!(anc.contains_key("clean"));
+        assert!(anc.contains_key("other"));
+        assert!(anc["joined"].contains("groupby"));
+        assert!(!anc.contains_key("report"));
+    }
+
+    #[test]
+    fn provenance_similarity_matches_shared_pipelines() {
+        let nb1 = synth_notebook("a", &["dropna", "normalize", "groupby"]);
+        let nb2 = synth_notebook("b", &["dropna", "normalize", "groupby"]);
+        let nb3 = synth_notebook("c", &["pivot", "plot"]);
+        let g1 = VariableDependencyGraph::from_notebook(&nb1);
+        let g2 = VariableDependencyGraph::from_notebook(&nb2);
+        let g3 = VariableDependencyGraph::from_notebook(&nb3);
+        let same = g1.provenance_similarity("df2", &g2, "df2");
+        let diff = g1.provenance_similarity("df2", &g3, "df1");
+        assert_eq!(same, 1.0);
+        assert!(diff < same);
+    }
+
+    #[test]
+    fn chain_containment_detects_workflow_patterns() {
+        let g = VariableDependencyGraph::from_notebook(&sample());
+        assert!(g.contains_chain(&["read_csv", "dropna", "merge"]));
+        assert!(g.contains_chain(&["merge", "groupby"]));
+        assert!(!g.contains_chain(&["groupby", "merge"]));
+        assert!(g.contains_chain(&[]));
+    }
+
+    #[test]
+    fn describe_reports_counts() {
+        let g = VariableDependencyGraph::from_notebook(&sample());
+        let d = g.describe();
+        assert_eq!(d.nodes_built, 7);
+        assert_eq!(d.edges_built, 6);
+        assert_eq!(d.system, "Juneau (variable dependency)");
+    }
+}

@@ -1,0 +1,299 @@
+//! Data lake organizations (Nargesian et al., §6.1.3, Table 2 row 3).
+//!
+//! "A DAG-based organization has sets of attributes as nodes. The leaf
+//! nodes are attributes of input tables, while non-leaf nodes have a topic
+//! label that summarizes the set of attributes … The edges represent
+//! containment relationships … The process of navigation is formalized as
+//! a Markov model … The proposed algorithms try to find the organization
+//! structure that achieves the maximum probability for all the attributes
+//! of tables to be found."
+//!
+//! Attributes are represented by bag embeddings of their values (the
+//! n-dimensional representations of \[106\]); similarity to a query topic is
+//! cosine. [`Organization::success_probability`] evaluates the Markov
+//! navigation objective exactly; [`build_optimized`] greedily grows a
+//! hierarchy by similarity-based agglomeration (the local-search spirit of
+//! the paper), and [`build_flat`] / [`build_random`] are the baselines
+//! experiment E6 compares against.
+
+use crate::DagDescription;
+use lake_core::stats::cosine;
+use lake_core::Table;
+use lake_index::embed::HashedNgramEncoder;
+use lake_ml::markov::MarkovNavigator;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One node of the organization DAG.
+#[derive(Debug, Clone)]
+pub struct OrgNode {
+    /// Topic centroid (mean embedding of covered attributes).
+    pub centroid: Vec<f64>,
+    /// Children node ids (empty for leaves).
+    pub children: Vec<usize>,
+    /// For leaves: the attribute this node represents `(table, column)`.
+    pub attribute: Option<(usize, usize)>,
+}
+
+/// An organization: a rooted DAG over attribute-set nodes.
+#[derive(Debug, Clone)]
+pub struct Organization {
+    /// Nodes; index 0 is the root.
+    pub nodes: Vec<OrgNode>,
+}
+
+/// Embed every attribute of every table (leaf representations).
+pub fn attribute_embeddings(tables: &[Table], dim: usize) -> Vec<((usize, usize), Vec<f64>)> {
+    let enc = HashedNgramEncoder::new(dim, 3);
+    let mut out = Vec::new();
+    for (ti, t) in tables.iter().enumerate() {
+        for (ci, col) in t.columns().iter().enumerate() {
+            let values: Vec<String> = col.text_domain().into_iter().take(32).collect();
+            let mut items: Vec<&str> = values.iter().map(String::as_str).collect();
+            items.push(col.name.as_str());
+            out.push(((ti, ci), enc.encode_bag(items)));
+        }
+    }
+    out
+}
+
+fn mean(vs: &[&Vec<f64>]) -> Vec<f64> {
+    if vs.is_empty() {
+        return Vec::new();
+    }
+    let dim = vs[0].len();
+    let mut m = vec![0.0; dim];
+    for v in vs {
+        for (a, b) in m.iter_mut().zip(v.iter()) {
+            *a += b;
+        }
+    }
+    for a in &mut m {
+        *a /= vs.len() as f64;
+    }
+    m
+}
+
+impl Organization {
+    /// Build the navigation Markov model for a query topic vector: from
+    /// each internal node, transition affinity to child = max(cosine, ε).
+    pub fn navigator(&self, topic: &[f64]) -> MarkovNavigator {
+        let mut nav = MarkovNavigator::with_states(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &c in &n.children {
+                let affinity = cosine(topic, &self.nodes[c].centroid).max(1e-6);
+                nav.add_transition(i, c, affinity);
+            }
+        }
+        nav
+    }
+
+    /// Probability that navigation from the root reaches the leaf for
+    /// `attribute`, with the query topic equal to that attribute's own
+    /// embedding (the paper's discovery objective).
+    pub fn success_probability(&self, attribute: (usize, usize), embedding: &[f64]) -> f64 {
+        let Some(leaf) = self
+            .nodes
+            .iter()
+            .position(|n| n.attribute == Some(attribute))
+        else {
+            return 0.0;
+        };
+        self.navigator(embedding).success_probability(0, leaf)
+    }
+
+    /// The organization's objective: mean success probability over all
+    /// leaves (each queried with its own embedding).
+    pub fn expected_discovery_probability(
+        &self,
+        embeddings: &[((usize, usize), Vec<f64>)],
+    ) -> f64 {
+        if embeddings.is_empty() {
+            return 0.0;
+        }
+        embeddings
+            .iter()
+            .map(|(at, e)| self.success_probability(*at, e))
+            .sum::<f64>()
+            / embeddings.len() as f64
+    }
+
+    /// Leaf count.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.attribute.is_some()).count()
+    }
+
+    /// Table 2 row for this organization.
+    pub fn describe(&self) -> DagDescription {
+        DagDescription {
+            system: "Nargesian et al.",
+            function: "Semantic navigation",
+            node: "Sets of attributes",
+            edge: "Containment relationships",
+            edge_direction: "From the superset to the subset",
+            nodes_built: self.nodes.len(),
+            edges_built: self.nodes.iter().map(|n| n.children.len()).sum(),
+        }
+    }
+}
+
+/// Flat baseline: root points directly at every leaf.
+pub fn build_flat(embeddings: &[((usize, usize), Vec<f64>)]) -> Organization {
+    let mut nodes = vec![OrgNode {
+        centroid: mean(&embeddings.iter().map(|(_, e)| e).collect::<Vec<_>>()),
+        children: Vec::new(),
+        attribute: None,
+    }];
+    for (at, e) in embeddings {
+        nodes.push(OrgNode { centroid: e.clone(), children: Vec::new(), attribute: Some(*at) });
+        let leaf = nodes.len() - 1;
+        nodes[0].children.push(leaf);
+    }
+    Organization { nodes }
+}
+
+/// Random binary hierarchy baseline.
+pub fn build_random(embeddings: &[((usize, usize), Vec<f64>)], seed: u64) -> Organization {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<OrgNode> = vec![OrgNode {
+        centroid: mean(&embeddings.iter().map(|(_, e)| e).collect::<Vec<_>>()),
+        children: Vec::new(),
+        attribute: None,
+    }];
+    let mut frontier: Vec<usize> = Vec::new();
+    for (at, e) in embeddings {
+        nodes.push(OrgNode { centroid: e.clone(), children: Vec::new(), attribute: Some(*at) });
+        frontier.push(nodes.len() - 1);
+    }
+    // Randomly pair frontier nodes under new parents until ≤ branching.
+    while frontier.len() > 2 {
+        let i = rng.random_range(0..frontier.len());
+        let a = frontier.swap_remove(i);
+        let j = rng.random_range(0..frontier.len());
+        let b = frontier.swap_remove(j);
+        let centroid = mean(&[&nodes[a].centroid, &nodes[b].centroid]);
+        nodes.push(OrgNode { centroid, children: vec![a, b], attribute: None });
+        frontier.push(nodes.len() - 1);
+    }
+    let root_children = frontier;
+    nodes[0].children = root_children;
+    Organization { nodes }
+}
+
+/// Similarity-optimized organization: agglomerate the most-similar node
+/// pairs under shared parents (greedy average-linkage), bounding fan-out,
+/// so navigation choices at each level are semantically sharp — the
+/// greedy counterpart of the paper's organization optimization.
+pub fn build_optimized(embeddings: &[((usize, usize), Vec<f64>)], branching: usize) -> Organization {
+    let mut nodes: Vec<OrgNode> = vec![OrgNode {
+        centroid: mean(&embeddings.iter().map(|(_, e)| e).collect::<Vec<_>>()),
+        children: Vec::new(),
+        attribute: None,
+    }];
+    let mut frontier: Vec<usize> = Vec::new();
+    for (at, e) in embeddings {
+        nodes.push(OrgNode { centroid: e.clone(), children: Vec::new(), attribute: Some(*at) });
+        frontier.push(nodes.len() - 1);
+    }
+    while frontier.len() > branching.max(2) {
+        // Find the most similar pair on the frontier.
+        let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+        for i in 0..frontier.len() {
+            for j in i + 1..frontier.len() {
+                let s = cosine(&nodes[frontier[i]].centroid, &nodes[frontier[j]].centroid);
+                if s > best.2 {
+                    best = (i, j, s);
+                }
+            }
+        }
+        let (i, j, _) = best;
+        let (a, b) = (frontier[i], frontier[j]);
+        // Remove higher index first.
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        frontier.swap_remove(hi);
+        frontier.swap_remove(lo);
+        let centroid = mean(&[&nodes[a].centroid, &nodes[b].centroid]);
+        nodes.push(OrgNode { centroid, children: vec![a, b], attribute: None });
+        frontier.push(nodes.len() - 1);
+    }
+    nodes[0].children = frontier;
+    Organization { nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::synth::{generate_lake, LakeGenConfig};
+
+    fn embeddings() -> Vec<((usize, usize), Vec<f64>)> {
+        let lake = generate_lake(&LakeGenConfig::default());
+        attribute_embeddings(&lake.tables, 32)
+    }
+
+    #[test]
+    fn all_builders_cover_every_attribute() {
+        let em = embeddings();
+        for org in [
+            build_flat(&em),
+            build_random(&em, 1),
+            build_optimized(&em, 4),
+        ] {
+            assert_eq!(org.num_leaves(), em.len());
+            // Every leaf reachable from root.
+            let mut reached = 0;
+            let mut stack = vec![0usize];
+            let mut seen = vec![false; org.nodes.len()];
+            while let Some(n) = stack.pop() {
+                if seen[n] {
+                    continue;
+                }
+                seen[n] = true;
+                if org.nodes[n].attribute.is_some() {
+                    reached += 1;
+                }
+                stack.extend(org.nodes[n].children.iter());
+            }
+            assert_eq!(reached, em.len());
+        }
+    }
+
+    #[test]
+    fn flat_probability_is_roughly_uniform() {
+        let em = embeddings();
+        let org = build_flat(&em);
+        let p = org.success_probability(em[0].0, &em[0].1);
+        // Flat: one hop among n leaves weighted by cosine; cosine of an
+        // attribute with itself is maximal, so p ≥ 1/n.
+        assert!(p >= 1.0 / em.len() as f64);
+        assert!(p < 0.6);
+    }
+
+    #[test]
+    fn optimized_beats_flat_and_random() {
+        let em = embeddings();
+        let flat = build_flat(&em).expected_discovery_probability(&em);
+        let rand_org = build_random(&em, 3).expected_discovery_probability(&em);
+        let opt = build_optimized(&em, 4).expected_discovery_probability(&em);
+        assert!(
+            opt > flat && opt > rand_org,
+            "optimized {opt:.4} vs flat {flat:.4} vs random {rand_org:.4}"
+        );
+    }
+
+    #[test]
+    fn describe_reports_structure() {
+        let em = embeddings();
+        let org = build_optimized(&em, 4);
+        let d = org.describe();
+        assert_eq!(d.system, "Nargesian et al.");
+        assert_eq!(d.nodes_built, org.nodes.len());
+        assert!(d.edges_built >= em.len());
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let org = build_flat(&[]);
+        assert_eq!(org.num_leaves(), 0);
+        assert_eq!(org.expected_discovery_probability(&[]), 0.0);
+    }
+}

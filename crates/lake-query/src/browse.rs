@@ -1,0 +1,160 @@
+//! Incremental exploration (Constance, §7.2): "a user can first browse
+//! the existing data sources, including their description, statistics,
+//! and schema; then she can write a query for a single dataset."
+//!
+//! [`DatasetSummary`] is the browse card for one dataset — enough for a
+//! user to decide whether to query it, without loading it wholesale.
+
+use lake_core::stats::NumericSummary;
+use lake_core::{Dataset, Schema};
+
+/// The per-column statistics shown while browsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStat {
+    /// Column name.
+    pub name: String,
+    /// Type name.
+    pub dtype: String,
+    /// Distinct values.
+    pub distinct: usize,
+    /// Null fraction.
+    pub null_fraction: f64,
+    /// Numeric range, when applicable.
+    pub numeric: Option<NumericSummary>,
+    /// A few example values (rendered).
+    pub examples: Vec<String>,
+}
+
+/// The browse card for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset shape ("table", "documents", …).
+    pub kind: String,
+    /// Record count.
+    pub records: usize,
+    /// Inferred schema (tables) or None.
+    pub schema: Option<Schema>,
+    /// Per-column statistics (tables only).
+    pub columns: Vec<ColumnStat>,
+    /// A short free-text description of structure for non-tabular data.
+    pub structure_note: String,
+}
+
+/// Build the browse card for a dataset.
+pub fn summarize(dataset: &Dataset) -> DatasetSummary {
+    match dataset {
+        Dataset::Table(t) => {
+            let columns = t
+                .columns()
+                .iter()
+                .map(|c| {
+                    let numeric_vals = c.numeric_values();
+                    let mut examples: Vec<String> =
+                        c.text_domain().into_iter().take(3).collect();
+                    examples.sort();
+                    ColumnStat {
+                        name: c.name.clone(),
+                        dtype: c.inferred_type().name().to_string(),
+                        distinct: c.cardinality(),
+                        null_fraction: if c.is_empty() {
+                            0.0
+                        } else {
+                            c.null_count() as f64 / c.len() as f64
+                        },
+                        numeric: NumericSummary::of(&numeric_vals),
+                        examples,
+                    }
+                })
+                .collect();
+            DatasetSummary {
+                kind: "table".into(),
+                records: t.num_rows(),
+                schema: Some(t.schema()),
+                columns,
+                structure_note: format!("{} columns × {} rows", t.num_columns(), t.num_rows()),
+            }
+        }
+        Dataset::Documents(docs) => DatasetSummary {
+            kind: "documents".into(),
+            records: docs.len(),
+            schema: None,
+            columns: Vec::new(),
+            structure_note: format!(
+                "{} documents, max depth {}, mean leaves {:.1}",
+                docs.len(),
+                docs.iter().map(|d| d.depth()).max().unwrap_or(0),
+                if docs.is_empty() {
+                    0.0
+                } else {
+                    docs.iter().map(|d| d.leaf_count()).sum::<usize>() as f64 / docs.len() as f64
+                }
+            ),
+        },
+        Dataset::Graph(g) => DatasetSummary {
+            kind: "graph".into(),
+            records: g.node_count(),
+            schema: None,
+            columns: Vec::new(),
+            structure_note: format!("{} nodes, {} edges", g.node_count(), g.edge_count()),
+        },
+        Dataset::Log(lines) => DatasetSummary {
+            kind: "log".into(),
+            records: lines.len(),
+            schema: None,
+            columns: Vec::new(),
+            structure_note: format!("{} log lines", lines.len()),
+        },
+        Dataset::Text(t) => DatasetSummary {
+            kind: "text".into(),
+            records: 1,
+            schema: None,
+            columns: Vec::new(),
+            structure_note: format!("{} characters of free text", t.len()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::{Table, Value};
+
+    #[test]
+    fn table_summary_has_stats_and_schema() {
+        let t = Table::from_rows(
+            "t",
+            &["city", "pop"],
+            vec![
+                vec![Value::str("delft"), Value::Int(100)],
+                vec![Value::str("paris"), Value::Null],
+                vec![Value::str("delft"), Value::Int(300)],
+            ],
+        )
+        .unwrap();
+        let s = summarize(&Dataset::Table(t));
+        assert_eq!(s.kind, "table");
+        assert_eq!(s.records, 3);
+        let city = &s.columns[0];
+        assert_eq!(city.distinct, 2);
+        assert!(city.examples.contains(&"delft".to_string()));
+        let pop = &s.columns[1];
+        assert!((pop.null_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(pop.numeric.unwrap().max, 300.0);
+        assert!(s.schema.is_some());
+    }
+
+    #[test]
+    fn non_tabular_summaries_describe_structure() {
+        let docs = Dataset::Documents(vec![
+            lake_core::Json::obj(vec![("a", lake_core::Json::Num(1.0))]),
+        ]);
+        let s = summarize(&docs);
+        assert_eq!(s.kind, "documents");
+        assert!(s.structure_note.contains("max depth 1"));
+
+        let s2 = summarize(&Dataset::Log(vec!["x".into(), "y".into()]));
+        assert_eq!(s2.records, 2);
+        let s3 = summarize(&Dataset::Text("hello".into()));
+        assert!(s3.structure_note.contains("5 characters"));
+    }
+}

@@ -1,0 +1,617 @@
+//! Federated query processing over the polystore (§7.2).
+//!
+//! Ontario "profiles each dataset with its metadata … Given an input
+//! SPARQL query, Ontario first decomposes the query. Then it uses the
+//! profiles to generate subqueries for each dataset"; Squerall maps source
+//! schemata to a mediator and joins/transforms retrieved entities;
+//! Constance pushes selection predicates down to the sources. The
+//! [`FederatedEngine`] does all three over the `lake-store` substrates:
+//!
+//! * a *mediated table* unions one or more sources (relational tables,
+//!   document collections with path→column mappings, or columnar files in
+//!   the object store);
+//! * queries ([`crate::ast::Query`]) are decomposed into per-source plans;
+//! * predicates are evaluated inside each source when `pushdown` is on
+//!   (the measurable E9 toggle), or at the mediator otherwise;
+//! * SPARQL-like triple patterns pass through to the graph store.
+
+use crate::ast::Query;
+use lake_core::{Column, Json, LakeError, Result, Table, Value};
+use lake_store::graphstore::TriplePattern;
+use lake_store::predicate::Predicate;
+use lake_store::{ObjectStore, Polystore, StoreKind};
+use std::collections::BTreeMap;
+
+/// One source backing a mediated table.
+#[derive(Debug, Clone)]
+pub struct SourceBinding {
+    /// Which substrate holds it.
+    pub store: StoreKind,
+    /// Table name / collection name / object key.
+    pub location: String,
+    /// mediated column → source column or dotted document path.
+    pub columns: BTreeMap<String, String>,
+}
+
+/// Execution metrics of one federated query (the E9 measurements).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows/documents shipped from sources to the mediator.
+    pub rows_moved: usize,
+    /// Subqueries issued.
+    pub subqueries: usize,
+}
+
+/// The mediator.
+pub struct FederatedEngine<'a> {
+    store: &'a Polystore,
+    mediated: BTreeMap<String, Vec<SourceBinding>>,
+}
+
+impl<'a> FederatedEngine<'a> {
+    /// A mediator over a polystore.
+    pub fn new(store: &'a Polystore) -> FederatedEngine<'a> {
+        FederatedEngine { store, mediated: BTreeMap::new() }
+    }
+
+    /// Register a mediated table.
+    pub fn register(&mut self, name: &str, sources: Vec<SourceBinding>) {
+        self.mediated.insert(name.to_string(), sources);
+    }
+
+    /// Registered mediated tables.
+    pub fn mediated_tables(&self) -> Vec<&str> {
+        self.mediated.keys().map(String::as_str).collect()
+    }
+
+    /// Execute a query; returns the merged table and execution stats.
+    pub fn execute(&self, query: &Query, pushdown: bool) -> Result<(Table, ExecStats)> {
+        let sources = self
+            .mediated
+            .get(&query.table)
+            .ok_or_else(|| LakeError::not_found(format!("mediated table {}", query.table)))?;
+        let mut stats = ExecStats::default();
+        let select: Vec<String> = if query.select.is_empty() {
+            sources
+                .first()
+                .map(|s| s.columns.keys().cloned().collect())
+                .unwrap_or_default()
+        } else {
+            query.select.clone()
+        };
+
+        let mut out_cols: Vec<Column> =
+            select.iter().map(|n| Column::new(n.clone(), Vec::new())).collect();
+
+        for src in sources {
+            stats.subqueries += 1;
+            let rows = self.fetch(src, &select, &query.filters, pushdown, &mut stats)?;
+            for row in rows {
+                for (c, v) in out_cols.iter_mut().zip(row) {
+                    c.values.push(v);
+                }
+            }
+        }
+        let mut t = Table::from_columns(query.table.clone(), out_cols)?;
+        if let Some(limit) = query.limit {
+            let mut i = 0;
+            t = t.filter(|_| {
+                i += 1;
+                i <= limit
+            });
+        }
+        Ok((t, stats))
+    }
+
+    fn fetch(
+        &self,
+        src: &SourceBinding,
+        select: &[String],
+        filters: &[Predicate],
+        pushdown: bool,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Vec<Value>>> {
+        // Map mediated attribute → source attribute.
+        let map_attr = |a: &str| -> Result<String> {
+            src.columns
+                .get(a)
+                .cloned()
+                .ok_or_else(|| LakeError::query(format!("source {} lacks attribute {a}", src.location)))
+        };
+        let mapped_filters: Vec<Predicate> = filters
+            .iter()
+            .map(|p| {
+                Ok(Predicate {
+                    attribute: map_attr(&p.attribute)?,
+                    op: p.op,
+                    value: p.value.clone(),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let mapped_select: Vec<String> =
+            select.iter().map(|s| map_attr(s)).collect::<Result<_>>()?;
+
+        match src.store {
+            StoreKind::Relational => {
+                let refs: Vec<&str> = mapped_select.iter().map(String::as_str).collect();
+                let t = if pushdown {
+                    self.store.relational.scan(&src.location, &mapped_filters, Some(&refs))?
+                } else {
+                    self.store.relational.scan(&src.location, &[], None)?
+                };
+                let mut rows: Vec<Vec<Value>> = t.iter_rows().collect();
+                stats.rows_moved += rows.len();
+                if !pushdown {
+                    // Mediator-side filtering + projection.
+                    let full = t;
+                    rows = full
+                        .iter_rows()
+                        .filter(|row| {
+                            mapped_filters.iter().all(|p| {
+                                full.column_index(&p.attribute)
+                                    .map(|i| p.matches(&row[i]))
+                                    .unwrap_or(false)
+                            })
+                        })
+                        .map(|row| {
+                            mapped_select
+                                .iter()
+                                .map(|c| full.column_index(c).map(|i| row[i].clone()).unwrap_or(Value::Null))
+                                .collect()
+                        })
+                        .collect();
+                }
+                Ok(rows)
+            }
+            StoreKind::Document => {
+                let docs: Vec<Json> = if pushdown {
+                    self.store.documents.find(&src.location, &mapped_filters)?
+                } else {
+                    let all = self.store.documents.find(&src.location, &[])?;
+                    all.into_iter()
+                        .filter(|d| {
+                            mapped_filters.iter().all(|p| {
+                                d.path(&p.attribute)
+                                    .map(|j| p.matches(&j.to_value()))
+                                    .unwrap_or(false)
+                            })
+                        })
+                        .collect()
+                };
+                stats.rows_moved += if pushdown {
+                    docs.len()
+                } else {
+                    self.store.documents.count(&src.location)
+                };
+                Ok(docs
+                    .into_iter()
+                    .map(|d| {
+                        mapped_select
+                            .iter()
+                            .map(|p| d.path(p).map(Json::to_value).unwrap_or(Value::Null))
+                            .collect()
+                    })
+                    .collect())
+            }
+            StoreKind::File => {
+                // Columnar files: data skipping via stats when pushing down.
+                let bytes = self.store.files.get(&src.location)?;
+                if pushdown {
+                    let file_stats = lake_formats::columnar::read_stats(&bytes)?;
+                    let skippable = mapped_filters.iter().any(|p| {
+                        p.op == lake_store::predicate::CompareOp::Eq
+                            && file_stats
+                                .iter()
+                                .find(|s| s.name == p.attribute)
+                                .is_some_and(|s| s.can_skip_eq(&p.value))
+                    });
+                    if skippable {
+                        return Ok(Vec::new()); // pruned without decoding
+                    }
+                }
+                let t = lake_formats::columnar::decode(&bytes)?;
+                if !pushdown {
+                    // Without pushdown the whole file ships to the
+                    // mediator; with it, a source-side service (Ontario's
+                    // Spark connector for HDFS files) filters first, so
+                    // only matching rows count as moved (added below).
+                    stats.rows_moved += t.num_rows();
+                }
+                let filtered = t.filter(|row| {
+                    mapped_filters.iter().all(|p| {
+                        t.column_index(&p.attribute)
+                            .map(|i| p.matches(row[i]))
+                            .unwrap_or(false)
+                    })
+                });
+                if pushdown {
+                    stats.rows_moved += filtered.num_rows();
+                }
+                Ok(filtered
+                    .iter_rows()
+                    .map(|row| {
+                        mapped_select
+                            .iter()
+                            .map(|c| {
+                                filtered
+                                    .column_index(c)
+                                    .map(|i| row[i].clone())
+                                    .unwrap_or(Value::Null)
+                            })
+                            .collect()
+                    })
+                    .collect())
+            }
+            StoreKind::Graph => Err(LakeError::query(
+                "graph sources are queried via triple patterns (see sparql)",
+            )),
+        }
+    }
+
+    /// Execute a two-table join query: each side runs as its own
+    /// (push-down-enabled) single-table plan with the filters it can bind;
+    /// the mediator hash-joins the streams (Squerall: retrieved entities
+    /// "are joined and transformed to form the final query results").
+    pub fn execute_join(
+        &self,
+        query: &crate::ast::JoinQuery,
+        pushdown: bool,
+    ) -> Result<(Table, ExecStats)> {
+        let binds = |table: &str, attr: &str| -> bool {
+            self.mediated
+                .get(table)
+                .and_then(|srcs| srcs.first())
+                .map(|s| s.columns.contains_key(attr))
+                .unwrap_or(false)
+        };
+        // Route filters to the side that binds them; error on neither.
+        let mut left_filters = Vec::new();
+        let mut right_filters = Vec::new();
+        for p in &query.filters {
+            if binds(&query.left, &p.attribute) {
+                left_filters.push(p.clone());
+            } else if binds(&query.right, &p.attribute) {
+                right_filters.push(p.clone());
+            } else {
+                return Err(LakeError::query(format!(
+                    "attribute {} bound by neither {} nor {}",
+                    p.attribute, query.left, query.right
+                )));
+            }
+        }
+        // Route selected attributes similarly (left wins ties).
+        let mut left_select = vec![query.on.0.clone()];
+        let mut right_select = vec![query.on.1.clone()];
+        for s in &query.select {
+            if binds(&query.left, s) {
+                left_select.push(s.clone());
+            } else if binds(&query.right, s) {
+                right_select.push(s.clone());
+            } else {
+                return Err(LakeError::query(format!("unknown attribute {s}")));
+            }
+        }
+
+        let (lt, lstats) = self.execute(
+            &Query {
+                select: left_select.clone(),
+                table: query.left.clone(),
+                filters: left_filters,
+                limit: None,
+            },
+            pushdown,
+        )?;
+        let (rt, rstats) = self.execute(
+            &Query {
+                select: right_select.clone(),
+                table: query.right.clone(),
+                filters: right_filters,
+                limit: None,
+            },
+            pushdown,
+        )?;
+
+        // Hash join on the ON attributes (both sit at column 0 by
+        // construction above). Build on the smaller side — the classic
+        // physical-design optimization of federated mediators (Ontario's
+        // follow-up work on optimizing federated queries).
+        let build_left = lt.num_rows() < rt.num_rows();
+        let (build, probe) = if build_left { (&lt, &rt) } else { (&rt, &lt) };
+        let mut hash: std::collections::HashMap<Value, Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..build.num_rows() {
+            let key = build.columns()[0].values[i].clone();
+            if !key.is_null() {
+                hash.entry(key).or_default().push(i);
+            }
+        }
+        let mut cols: Vec<Column> = query
+            .select
+            .iter()
+            .map(|s| Column::new(s.clone(), Vec::new()))
+            .collect();
+        // When resolving a selected name, prefer the left table; the ON
+        // column of each side sits at index 0 and must not shadow a
+        // same-named payload column.
+        let resolve = |t: &Table, name: &str, on_attr: &str, row: usize| -> Option<Value> {
+            t.column_index(name)
+                .filter(|&i| i != 0 || name == on_attr)
+                .map(|i| t.columns()[i].values[row].clone())
+        };
+        let mut emitted = 0usize;
+        'outer: for pi in 0..probe.num_rows() {
+            let key = &probe.columns()[0].values[pi];
+            let Some(matches) = hash.get(key) else { continue };
+            for &bi in matches {
+                let (li, ri) = if build_left { (bi, pi) } else { (pi, bi) };
+                for (c, name) in cols.iter_mut().zip(&query.select) {
+                    let v = resolve(&lt, name, &query.on.0, li)
+                        .or_else(|| resolve(&rt, name, &query.on.1, ri))
+                        .unwrap_or(Value::Null);
+                    c.values.push(v);
+                }
+                emitted += 1;
+                if query.limit.is_some_and(|l| emitted >= l) {
+                    break 'outer;
+                }
+            }
+        }
+        let stats = ExecStats {
+            rows_moved: lstats.rows_moved + rstats.rows_moved,
+            subqueries: lstats.subqueries + rstats.subqueries,
+        };
+        Ok((Table::from_columns(format!("{}⋈{}", query.left, query.right), cols)?, stats))
+    }
+
+    /// SPARQL-like passthrough: match triple patterns on a named graph.
+    pub fn sparql(
+        &self,
+        graph: &str,
+        patterns: &[TriplePattern],
+    ) -> Result<Vec<BTreeMap<String, Value>>> {
+        self.store.graphs.match_patterns(graph, patterns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_query;
+    use lake_core::Dataset;
+    use lake_core::DatasetId;
+
+    fn setup() -> Polystore {
+        let ps = Polystore::new();
+        // Relational source.
+        let t = Table::from_rows(
+            "orders_eu",
+            &["cust", "city", "total"],
+            vec![
+                vec![Value::str("c1"), Value::str("delft"), Value::Float(10.0)],
+                vec![Value::str("c2"), Value::str("paris"), Value::Float(80.0)],
+                vec![Value::str("c3"), Value::str("delft"), Value::Float(30.0)],
+            ],
+        )
+        .unwrap();
+        ps.store(DatasetId(1), "orders_eu", Dataset::Table(t)).unwrap();
+        // Document source.
+        let docs = vec![
+            lake_formats::json::parse(r#"{"buyer": "c7", "addr": {"city": "rome"}, "amount": 55}"#)
+                .unwrap(),
+            lake_formats::json::parse(r#"{"buyer": "c8", "addr": {"city": "delft"}, "amount": 5}"#)
+                .unwrap(),
+        ];
+        ps.store(DatasetId(2), "orders_docs", Dataset::Documents(docs)).unwrap();
+        // Columnar file source.
+        let tf = Table::from_rows(
+            "orders_archive",
+            &["cust", "city", "total"],
+            vec![vec![Value::str("c9"), Value::str("oslo"), Value::Float(70.0)]],
+        )
+        .unwrap();
+        ps.store_in(DatasetId(3), "orders_archive", Dataset::Table(tf), StoreKind::File)
+            .unwrap();
+        ps
+    }
+
+    fn engine(ps: &Polystore) -> FederatedEngine<'_> {
+        let mut fe = FederatedEngine::new(ps);
+        let rel = SourceBinding {
+            store: StoreKind::Relational,
+            location: "orders_eu".into(),
+            columns: [
+                ("customer".to_string(), "cust".to_string()),
+                ("city".to_string(), "city".to_string()),
+                ("total".to_string(), "total".to_string()),
+            ]
+            .into(),
+        };
+        let doc = SourceBinding {
+            store: StoreKind::Document,
+            location: "orders_docs".into(),
+            columns: [
+                ("customer".to_string(), "buyer".to_string()),
+                ("city".to_string(), "addr.city".to_string()),
+                ("total".to_string(), "amount".to_string()),
+            ]
+            .into(),
+        };
+        let file = SourceBinding {
+            store: StoreKind::File,
+            location: "tables/orders_archive.pql".into(),
+            columns: [
+                ("customer".to_string(), "cust".to_string()),
+                ("city".to_string(), "city".to_string()),
+                ("total".to_string(), "total".to_string()),
+            ]
+            .into(),
+        };
+        fe.register("orders", vec![rel, doc, file]);
+        fe
+    }
+
+    #[test]
+    fn query_unions_heterogeneous_sources() {
+        let ps = setup();
+        let fe = engine(&ps);
+        let q = parse_query("select customer, city from orders").unwrap();
+        let (t, stats) = fe.execute(&q, true).unwrap();
+        assert_eq!(t.num_rows(), 6);
+        assert_eq!(stats.subqueries, 3);
+        let cities = t.column("city").unwrap();
+        assert!(cities.values.contains(&Value::str("rome")));
+        assert!(cities.values.contains(&Value::str("oslo")));
+    }
+
+    #[test]
+    fn predicates_filter_across_stores() {
+        let ps = setup();
+        let fe = engine(&ps);
+        let q = parse_query("select customer from orders where city = 'delft'").unwrap();
+        let (t, _) = fe.execute(&q, true).unwrap();
+        let custs: Vec<String> = t.column("customer").unwrap().values.iter().map(Value::render).collect();
+        assert_eq!(custs, vec!["c1", "c3", "c8"]);
+    }
+
+    #[test]
+    fn pushdown_moves_fewer_rows_same_answer() {
+        let ps = setup();
+        let fe = engine(&ps);
+        let q = parse_query("select customer from orders where total > 50").unwrap();
+        let (with, s_with) = fe.execute(&q, true).unwrap();
+        ps.relational.reset_counters();
+        let (without, s_without) = fe.execute(&q, false).unwrap();
+        let mut a: Vec<String> = with.column("customer").unwrap().values.iter().map(Value::render).collect();
+        let mut b: Vec<String> = without.column("customer").unwrap().values.iter().map(Value::render).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(
+            s_with.rows_moved < s_without.rows_moved,
+            "pushdown should move fewer rows: {} vs {}",
+            s_with.rows_moved,
+            s_without.rows_moved
+        );
+    }
+
+    #[test]
+    fn data_skipping_prunes_columnar_files() {
+        let ps = setup();
+        let fe = engine(&ps);
+        // cust = 'zz' is outside the archive file's min/max → skipped.
+        let q = parse_query("select customer from orders where customer = 'zzz'").unwrap();
+        let (t, _) = fe.execute(&q, true).unwrap();
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn limit_and_unknown_table() {
+        let ps = setup();
+        let fe = engine(&ps);
+        let q = parse_query("select customer from orders limit 2").unwrap();
+        let (t, _) = fe.execute(&q, true).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        let bad = parse_query("select x from ghost").unwrap();
+        assert!(fe.execute(&bad, true).is_err());
+    }
+
+    #[test]
+    fn join_across_mediated_tables() {
+        let ps = setup();
+        // Second mediated table over the document store keyed by buyer.
+        let mut fe = engine(&ps);
+        let profiles = vec![
+            lake_formats::json::parse(r#"{"who": "c1", "tier": "gold"}"#).unwrap(),
+            lake_formats::json::parse(r#"{"who": "c3", "tier": "silver"}"#).unwrap(),
+        ];
+        ps.documents.insert_many("profiles", profiles);
+        fe.register(
+            "tiers",
+            vec![SourceBinding {
+                store: StoreKind::Document,
+                location: "profiles".into(),
+                columns: [
+                    ("who".to_string(), "who".to_string()),
+                    ("tier".to_string(), "tier".to_string()),
+                ]
+                .into(),
+            }],
+        );
+        let q = crate::ast::parse_join_query(
+            "select tier, city from orders join tiers on customer = who where city = 'delft'",
+        )
+        .unwrap();
+        let (t, stats) = fe.execute_join(&q, true).unwrap();
+        // delft customers: c1 (relational), c3 (relational), c8 (docs);
+        // tiers exist for c1 and c3.
+        assert_eq!(t.num_rows(), 2);
+        let tiers: Vec<String> = t.column("tier").unwrap().values.iter().map(Value::render).collect();
+        assert!(tiers.contains(&"gold".to_string()));
+        assert!(tiers.contains(&"silver".to_string()));
+        assert!(stats.subqueries >= 4);
+
+        // Limit applies to joined output.
+        let q2 = crate::ast::parse_join_query(
+            "select tier from orders join tiers on customer = who limit 1",
+        )
+        .unwrap();
+        let (t2, _) = fe.execute_join(&q2, true).unwrap();
+        assert_eq!(t2.num_rows(), 1);
+
+        // Unroutable attribute errors.
+        let q3 = crate::ast::parse_join_query(
+            "select nope from orders join tiers on customer = who",
+        )
+        .unwrap();
+        assert!(fe.execute_join(&q3, true).is_err());
+    }
+
+    #[test]
+    fn join_agrees_with_and_without_pushdown() {
+        let ps = setup();
+        let mut fe = engine(&ps);
+        ps.documents.insert_many(
+            "profiles",
+            vec![lake_formats::json::parse(r#"{"who": "c2", "tier": "basic"}"#).unwrap()],
+        );
+        fe.register(
+            "tiers",
+            vec![SourceBinding {
+                store: StoreKind::Document,
+                location: "profiles".into(),
+                columns: [
+                    ("who".to_string(), "who".to_string()),
+                    ("tier".to_string(), "tier".to_string()),
+                ]
+                .into(),
+            }],
+        );
+        let q = crate::ast::parse_join_query(
+            "select customer, tier from orders join tiers on customer = who where total > 50",
+        )
+        .unwrap();
+        let (a, sa) = fe.execute_join(&q, true).unwrap();
+        let (b, sb) = fe.execute_join(&q, false).unwrap();
+        assert_eq!(a, b);
+        assert!(sa.rows_moved <= sb.rows_moved);
+    }
+
+    #[test]
+    fn sparql_passthrough() {
+        let ps = setup();
+        let mut g = lake_core::PropertyGraph::new();
+        let a = g.add_node_with("Person", vec![("name", Value::str("ada"))]);
+        let b = g.add_node_with("City", vec![("name", Value::str("delft"))]);
+        g.add_edge(a, b, "lives_in");
+        ps.graphs.put_graph("people", g);
+        let fe = engine(&ps);
+        let pats = [TriplePattern {
+            s: lake_store::graphstore::Term::Var("p".into()),
+            p: lake_store::graphstore::Term::Const(Value::str("lives_in")),
+            o: lake_store::graphstore::Term::Var("c".into()),
+        }];
+        let res = fe.sparql("people", &pats).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0]["c"], Value::str("delft"));
+    }
+}

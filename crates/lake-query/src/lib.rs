@@ -1,0 +1,28 @@
+//! # lake-query
+//!
+//! The exploration tier (survey §7): getting information *out* of the lake.
+//!
+//! * [`ast`] — a small SQL-ish query language (`SELECT … FROM … WHERE …
+//!   LIMIT …`) with a text parser, shared by the federated engine.
+//! * [`federated`] — heterogeneous data querying (§7.2): a mediator that
+//!   decomposes a query over sources living in different polystore
+//!   substrates, pushes predicates down (Constance/Ontario/Squerall), and
+//!   merges results; SPARQL-like triple patterns pass through to the graph
+//!   store.
+//! * [`explore`] — query-driven data discovery (§7.1): the three
+//!   exploration input/output modes — (1) joinable tables for a given
+//!   column (JOSIE-style), (2) related tables for a given table with
+//!   coverage extension (D³L-style), (3) task-driven search
+//!   (Juneau-style).
+//! * [`srql`] — Aurum's discovery-primitive query language: composable
+//!   primitives over the EKG with re-rankable results.
+
+pub mod ast;
+pub mod browse;
+pub mod explore;
+pub mod fulltext;
+pub mod federated;
+pub mod srql;
+
+pub use ast::{parse_query, Query};
+pub use federated::FederatedEngine;

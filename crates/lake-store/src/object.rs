@@ -1,0 +1,297 @@
+//! An immutable-blob object store: the HDFS / S3 / Azure Blob stand-in.
+//!
+//! File-based storage is "one of the most common data storage options for
+//! data lakes" (§4.1). Algorithms above this layer need exactly four
+//! things: write a blob, write-if-absent (the atomic primitive Delta-style
+//! transaction logs rely on for optimistic concurrency, §8.3), read a
+//! blob, and list keys under a prefix. Two backends are provided — an
+//! in-memory map and a local directory — behind one trait, so every higher
+//! layer is backend-agnostic.
+
+use lake_core::{LakeError, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Blob storage with atomic conditional put.
+pub trait ObjectStore: Send + Sync {
+    /// Write `data` under `key`, replacing any existing blob.
+    fn put(&self, key: &str, data: &[u8]) -> Result<()>;
+
+    /// Write `data` under `key` only if `key` does not exist.
+    ///
+    /// Returns [`LakeError::AlreadyExists`] on conflict. This must be
+    /// atomic with respect to concurrent `put_if_absent` calls on the same
+    /// key — the lakehouse commit protocol depends on it.
+    fn put_if_absent(&self, key: &str, data: &[u8]) -> Result<()>;
+
+    /// Read the blob at `key`.
+    fn get(&self, key: &str) -> Result<Vec<u8>>;
+
+    /// Whether `key` exists.
+    fn exists(&self, key: &str) -> bool;
+
+    /// Delete the blob at `key` (idempotent: missing keys are fine).
+    fn delete(&self, key: &str) -> Result<()>;
+
+    /// All keys starting with `prefix`, in lexicographic order.
+    fn list(&self, prefix: &str) -> Vec<String>;
+
+    /// Size in bytes of the blob at `key`.
+    fn size(&self, key: &str) -> Result<usize> {
+        self.get(key).map(|d| d.len())
+    }
+}
+
+/// In-memory object store; the default for tests and benchmarks.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    blobs: RwLock<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemoryStore {
+    /// A fresh, empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    /// `true` when no blobs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.read().is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.blobs.read().values().map(Vec::len).sum()
+    }
+}
+
+impl ObjectStore for MemoryStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<()> {
+        self.blobs.write().insert(key.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn put_if_absent(&self, key: &str, data: &[u8]) -> Result<()> {
+        let mut blobs = self.blobs.write();
+        if blobs.contains_key(key) {
+            return Err(LakeError::AlreadyExists(key.to_string()));
+        }
+        blobs.insert(key.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        self.blobs
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| LakeError::not_found(key))
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.blobs.read().contains_key(key)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.blobs.write().remove(key);
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.blobs
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+/// Object store persisting blobs as files under a root directory.
+///
+/// Keys map to relative paths; `/` in keys becomes directory structure.
+/// Conditional put uses `create_new`, which the OS makes atomic.
+#[derive(Debug)]
+pub struct LocalDirStore {
+    root: PathBuf,
+}
+
+impl LocalDirStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<LocalDirStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(LocalDirStore { root })
+    }
+
+    fn path_of(&self, key: &str) -> Result<PathBuf> {
+        // Reject path escapes; keys are logical names, not paths.
+        if key.split('/').any(|seg| seg == ".." || seg.is_empty()) || key.starts_with('/') {
+            return Err(LakeError::invalid(format!("bad object key {key:?}")));
+        }
+        Ok(self.root.join(key))
+    }
+
+    fn collect(&self, dir: &Path, prefix: &str, out: &mut Vec<String>) {
+        let Ok(entries) = std::fs::read_dir(dir) else { return };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let rel = path
+                .strip_prefix(&self.root)
+                .map(|p| p.to_string_lossy().replace('\\', "/"))
+                .unwrap_or_default();
+            if path.is_dir() {
+                self.collect(&path, prefix, out);
+            } else if rel.starts_with(prefix) {
+                out.push(rel);
+            }
+        }
+    }
+}
+
+impl ObjectStore for LocalDirStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<()> {
+        let path = self.path_of(key)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, data)?;
+        Ok(())
+    }
+
+    fn put_if_absent(&self, key: &str, data: &[u8]) -> Result<()> {
+        let path = self.path_of(key)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut opts = std::fs::OpenOptions::new();
+        opts.write(true).create_new(true);
+        match opts.open(&path) {
+            Ok(mut f) => {
+                use std::io::Write;
+                f.write_all(data)?;
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                Err(LakeError::AlreadyExists(key.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        let path = self.path_of(key)?;
+        std::fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                LakeError::not_found(key)
+            } else {
+                e.into()
+            }
+        })
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.path_of(key).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        let path = self.path_of(key)?;
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect(&self.root.clone(), prefix, &mut out);
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn exercise(store: &dyn ObjectStore) {
+        store.put("a/one", b"1").unwrap();
+        store.put("a/two", b"22").unwrap();
+        store.put("b/three", b"333").unwrap();
+        assert_eq!(store.get("a/one").unwrap(), b"1");
+        assert!(store.exists("a/two"));
+        assert!(!store.exists("a/nope"));
+        assert_eq!(store.list("a/"), vec!["a/one".to_string(), "a/two".to_string()]);
+        assert_eq!(store.list(""), vec!["a/one", "a/two", "b/three"]);
+        assert_eq!(store.size("b/three").unwrap(), 3);
+
+        // Conditional put.
+        assert!(matches!(
+            store.put_if_absent("a/one", b"x"),
+            Err(LakeError::AlreadyExists(_))
+        ));
+        store.put_if_absent("a/new", b"n").unwrap();
+        assert_eq!(store.get("a/new").unwrap(), b"n");
+
+        // Overwrite + delete.
+        store.put("a/one", b"updated").unwrap();
+        assert_eq!(store.get("a/one").unwrap(), b"updated");
+        store.delete("a/one").unwrap();
+        assert!(!store.exists("a/one"));
+        store.delete("a/one").unwrap(); // idempotent
+        assert!(matches!(store.get("a/one"), Err(LakeError::NotFound(_))));
+    }
+
+    #[test]
+    fn memory_store_semantics() {
+        let s = MemoryStore::new();
+        exercise(&s);
+        assert_eq!(s.len(), 3);
+        assert!(s.total_bytes() > 0);
+    }
+
+    #[test]
+    fn local_dir_store_semantics() {
+        let dir = std::env::temp_dir().join(format!("lake_store_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = LocalDirStore::open(&dir).unwrap();
+        exercise(&s);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn local_dir_rejects_escaping_keys() {
+        let dir = std::env::temp_dir().join(format!("lake_store_esc_{}", std::process::id()));
+        let s = LocalDirStore::open(&dir).unwrap();
+        assert!(s.put("../evil", b"x").is_err());
+        assert!(s.put("/abs", b"x").is_err());
+        assert!(s.put("a//b", b"x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_put_if_absent_has_single_winner() {
+        let s = Arc::new(MemoryStore::new());
+        let mut handles = Vec::new();
+        for i in 0..16 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                s.put_if_absent("race", format!("writer{i}").as_bytes()).is_ok()
+            }));
+        }
+        let wins = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&won| won)
+            .count();
+        assert_eq!(wins, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Simple comparison predicates evaluated *inside* stores.
+//!
+//! Federated query processing over a polystore pushes selection predicates
+//! down to the sources "to optimize query execution and reduce the amount
+//! of data to be loaded" (Constance, §6.3). This module is the common
+//! predicate language every store understands, making push-down effects
+//! directly measurable (experiment E9).
+
+use lake_core::Value;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Substring containment on rendered text.
+    Contains,
+}
+
+impl CompareOp {
+    /// Evaluate `left OP right`. Null never satisfies any comparison
+    /// (SQL-style three-valued logic collapsed to false).
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        match self {
+            CompareOp::Eq => left == right,
+            CompareOp::Ne => left != right,
+            CompareOp::Lt => left < right,
+            CompareOp::Le => left <= right,
+            CompareOp::Gt => left > right,
+            CompareOp::Ge => left >= right,
+            CompareOp::Contains => left.render().contains(&right.render()),
+        }
+    }
+
+    /// SQL-ish symbol for display/parsing.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+            CompareOp::Contains => "contains",
+        }
+    }
+
+    /// Parse a symbol back into an operator.
+    pub fn parse(sym: &str) -> Option<CompareOp> {
+        Some(match sym {
+            "=" | "==" => CompareOp::Eq,
+            "!=" | "<>" => CompareOp::Ne,
+            "<" => CompareOp::Lt,
+            "<=" => CompareOp::Le,
+            ">" => CompareOp::Gt,
+            ">=" => CompareOp::Ge,
+            "contains" => CompareOp::Contains,
+            _ => return None,
+        })
+    }
+}
+
+/// A predicate `column OP constant` on a named attribute/path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Attribute name (tables) or dotted path (documents).
+    pub attribute: String,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Constant to compare against.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Build a predicate.
+    pub fn new(attribute: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Predicate {
+        Predicate { attribute: attribute.into(), op, value: value.into() }
+    }
+
+    /// Evaluate against a candidate attribute value.
+    pub fn matches(&self, candidate: &Value) -> bool {
+        self.op.eval(candidate, &self.value)
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {}", self.attribute, self.op.symbol(), self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_work() {
+        use CompareOp::*;
+        assert!(Eq.eval(&Value::Int(3), &Value::Int(3)));
+        assert!(Ne.eval(&Value::str("a"), &Value::str("b")));
+        assert!(Lt.eval(&Value::Int(2), &Value::Float(2.5)));
+        assert!(Ge.eval(&Value::Float(2.5), &Value::Int(2)));
+        assert!(Contains.eval(&Value::str("data lake"), &Value::str("lake")));
+    }
+
+    #[test]
+    fn null_never_matches() {
+        for op in [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt, CompareOp::Contains] {
+            assert!(!op.eval(&Value::Null, &Value::Int(1)));
+            assert!(!op.eval(&Value::Int(1), &Value::Null));
+        }
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+            CompareOp::Contains,
+        ] {
+            assert_eq!(CompareOp::parse(op.symbol()), Some(op));
+        }
+        assert_eq!(CompareOp::parse("<>"), Some(CompareOp::Ne));
+        assert_eq!(CompareOp::parse("~"), None);
+    }
+
+    #[test]
+    fn predicate_display_and_match() {
+        let p = Predicate::new("price", CompareOp::Gt, 10i64);
+        assert_eq!(p.to_string(), "price > 10");
+        assert!(p.matches(&Value::Int(11)));
+        assert!(!p.matches(&Value::Int(10)));
+        assert!(!p.matches(&Value::Null));
+    }
+}

@@ -1,0 +1,280 @@
+//! `lake-cli` — an interactive shell over [`lake::DataLake`].
+//!
+//! ```text
+//! $ cargo run -p lake --bin lake_cli
+//! lake> ingest data/customers.csv
+//! lake> ls
+//! lake> search delft
+//! lake> discover customers
+//! lake> query select city from customers where city = 'delft'
+//! lake> promote 0
+//! lake> help
+//! ```
+//!
+//! Reads commands from stdin (interactive or piped), so the whole session
+//! is scriptable: `echo -e "ingest a.csv\nls" | lake_cli`.
+
+use lake::users::Role;
+use lake::DataLake;
+use lake_discovery::DiscoverySystem;
+use std::io::{BufRead, Write};
+
+/// One parsed CLI command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Command {
+    /// `ingest <path>` — load a file from disk.
+    Ingest(String),
+    /// `ls` — list datasets.
+    List,
+    /// `meta <id>` — show a dataset's metadata.
+    Meta(u64),
+    /// `search <keywords…>` — full-text search.
+    Search(String),
+    /// `discover <table>` — related tables via Aurum.
+    Discover(String),
+    /// `query <sql…>` — federated query.
+    Query(String),
+    /// `promote <id>` — quality-gated zone promotion.
+    Promote(u64),
+    /// `help`
+    Help,
+    /// `quit` / `exit`
+    Quit,
+}
+
+fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    let (head, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let rest = rest.trim();
+    let need = |what: &str| -> Result<String, String> {
+        if rest.is_empty() {
+            Err(format!("usage: {head} <{what}>"))
+        } else {
+            Ok(rest.to_string())
+        }
+    };
+    let need_id = || -> Result<u64, String> {
+        rest.parse().map_err(|_| format!("usage: {head} <dataset id>"))
+    };
+    match head {
+        "ingest" => Ok(Command::Ingest(need("path")?)),
+        "ls" | "list" => Ok(Command::List),
+        "meta" => Ok(Command::Meta(need_id()?)),
+        "search" => Ok(Command::Search(need("keywords")?)),
+        "discover" => Ok(Command::Discover(need("table")?)),
+        "query" | "select" => {
+            // Allow typing the SQL directly: `select …`.
+            if head == "select" {
+                Ok(Command::Query(line.to_string()))
+            } else {
+                Ok(Command::Query(need("sql")?))
+            }
+        }
+        "promote" => Ok(Command::Promote(need_id()?)),
+        "help" | "?" => Ok(Command::Help),
+        "quit" | "exit" => Ok(Command::Quit),
+        "" => Err(String::new()),
+        other => Err(format!("unknown command {other:?} (try `help`)")),
+    }
+}
+
+const HELP: &str = "\
+commands:
+  ingest <path>        load a raw file into the lake (format auto-detected)
+  ls                   list datasets with zone and format
+  meta <id>            metadata of one dataset
+  search <keywords>    full-text search across all datasets
+  discover <table>     tables related to <table> (Aurum EKG)
+  query <sql>          federated query, e.g. select a, b from t where a > 3
+  promote <id>         promote a dataset to its next zone (quality-gated)
+  help                 this text
+  quit                 leave";
+
+fn run_command(dl: &mut DataLake, cmd: Command) -> Result<String, String> {
+    let e = |err: lake_core::LakeError| err.to_string();
+    match cmd {
+        Command::Ingest(path) => {
+            let bytes = std::fs::read(&path).map_err(|io| format!("read {path}: {io}"))?;
+            let id = dl.ingest_file("cli", &path, &bytes).map_err(e)?;
+            let meta = dl.meta(id).map_err(e)?;
+            Ok(format!("{id} {} ({}, {} records)", meta.name, meta.format, {
+                dl.dataset("cli", id).map(|d| d.record_count()).unwrap_or(0)
+            }))
+        }
+        Command::List => {
+            let mut out = String::new();
+            for id in dl.dataset_ids() {
+                let m = dl.meta(id).map_err(e)?;
+                out.push_str(&format!(
+                    "{:<8} {:<20} {:<6} zone={}\n",
+                    id.to_string(),
+                    m.name,
+                    m.format,
+                    dl.zone_of(id).map(|z| z.name()).unwrap_or("-")
+                ));
+            }
+            Ok(out.trim_end().to_string())
+        }
+        Command::Meta(raw) => {
+            let id = lake_core::DatasetId(raw);
+            let m = dl.meta(id).map_err(e)?.clone();
+            let mut out = format!("name: {}\nformat: {}\nsource: {}\ningested_at: {}", m.name, m.format, m.source, m.ingested_at);
+            if let Some(entry) = dl.metamodel.entry(id) {
+                for (k, v) in &entry.properties {
+                    out.push_str(&format!("\n{k}: {v}"));
+                }
+            }
+            Ok(out)
+        }
+        Command::Search(kw) => {
+            let hits = dl.search("cli", &kw, 10).map_err(e)?;
+            if hits.is_empty() {
+                return Ok("no matches".into());
+            }
+            Ok(hits
+                .into_iter()
+                .map(|h| {
+                    format!(
+                        "{} {} (score {:.2}, terms {:?})",
+                        h.dataset,
+                        dl.meta(h.dataset).map(|m| m.name.clone()).unwrap_or_default(),
+                        h.score,
+                        h.matched_terms
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        Command::Discover(table) => {
+            let (corpus, _) = dl.corpus();
+            let q = corpus
+                .table_index(&table)
+                .ok_or_else(|| format!("no tabular dataset named {table}"))?;
+            let mut aurum = lake_discovery::aurum::Aurum::default();
+            aurum.build(&corpus);
+            let related = aurum.top_k_related(&corpus, q, 5);
+            if related.is_empty() {
+                return Ok("no related tables found".into());
+            }
+            Ok(related
+                .into_iter()
+                .map(|(t, s)| format!("{} (score {s:.2})", corpus.tables()[t].name))
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        Command::Query(sql) => {
+            let q = lake_query::parse_query(&sql).map_err(e)?;
+            let fe = dl.federated();
+            let (t, stats) = fe.execute(&q, true).map_err(e)?;
+            Ok(format!("{t}({} rows moved from sources)", stats.rows_moved))
+        }
+        Command::Promote(raw) => {
+            let id = lake_core::DatasetId(raw);
+            let z = dl.promote_checked("cli", id).map_err(e)?;
+            Ok(format!("{id} → {}", z.name()))
+        }
+        Command::Help => Ok(HELP.to_string()),
+        Command::Quit => Err("__quit".into()),
+    }
+}
+
+fn main() {
+    let mut dl = DataLake::new();
+    dl.access.add_user("cli", Role::Operations);
+    let stdin = std::io::stdin();
+    let interactive = atty_guess();
+    if interactive {
+        println!("rustlake shell — `help` for commands");
+    }
+    loop {
+        if interactive {
+            print!("lake> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        match parse_command(&line) {
+            Ok(cmd) => match run_command(&mut dl, cmd) {
+                Ok(out) => {
+                    if !out.is_empty() {
+                        println!("{out}");
+                    }
+                }
+                Err(e) if e == "__quit" => break,
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Err(e) => {
+                if !e.is_empty() {
+                    eprintln!("error: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort interactivity check without extra dependencies: piped
+/// stdin on Unix shows up as a non-tty via the TERM/CI heuristics being
+/// absent is unreliable, so default to non-interactive unless stdout is
+/// very likely a terminal (env `TERM` set and no `CI`).
+fn atty_guess() -> bool {
+    std::env::var_os("TERM").is_some() && std::env::var_os("CI").is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(parse_command("ls"), Ok(Command::List));
+        assert_eq!(parse_command("ingest a.csv"), Ok(Command::Ingest("a.csv".into())));
+        assert_eq!(parse_command("meta 3"), Ok(Command::Meta(3)));
+        assert_eq!(
+            parse_command("select a from t"),
+            Ok(Command::Query("select a from t".into()))
+        );
+        assert_eq!(
+            parse_command("query select a from t"),
+            Ok(Command::Query("select a from t".into()))
+        );
+        assert_eq!(parse_command("promote 2"), Ok(Command::Promote(2)));
+        assert_eq!(parse_command("quit"), Ok(Command::Quit));
+        assert!(parse_command("meta x").is_err());
+        assert!(parse_command("bogus").is_err());
+        assert!(parse_command("ingest").is_err());
+    }
+
+    #[test]
+    fn session_against_a_lake() {
+        let mut dl = DataLake::new();
+        dl.access.add_user("cli", Role::Operations);
+        // Ingest via a temp file (the CLI reads from disk).
+        let path = std::env::temp_dir().join(format!("lakecli_{}.csv", std::process::id()));
+        std::fs::write(&path, b"city,n\ndelft,1\nparis,2\n").unwrap();
+        let out = run_command(&mut dl, Command::Ingest(path.to_string_lossy().into_owned())).unwrap();
+        assert!(out.contains("csv"));
+        std::fs::remove_file(&path).unwrap();
+
+        let ls = run_command(&mut dl, Command::List).unwrap();
+        assert!(ls.contains("zone=landing"));
+        let meta = run_command(&mut dl, Command::Meta(0)).unwrap();
+        assert!(meta.contains("format: csv"));
+        let found = run_command(&mut dl, Command::Search("delft".into())).unwrap();
+        assert!(found.contains("ds:0"));
+        let table_name = dl.meta(lake_core::DatasetId(0)).unwrap().name.clone();
+        let q = run_command(
+            &mut dl,
+            Command::Query(format!("select city from {table_name} where n = 2")),
+        )
+        .unwrap();
+        assert!(q.contains("paris"));
+        let p = run_command(&mut dl, Command::Promote(0)).unwrap();
+        assert!(p.contains("raw"));
+        assert!(run_command(&mut dl, Command::Meta(9)).is_err());
+        assert_eq!(run_command(&mut dl, Command::Quit), Err("__quit".into()));
+    }
+}

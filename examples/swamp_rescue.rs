@@ -1,0 +1,98 @@
+//! Draining a data swamp (§2.2): Gartner's 2014 criticism was that
+//! "ingesting disparate data might easily turn the data lake into an
+//! unusable data swamp, unless there are metadata management and data
+//! governance". This example builds exactly that swamp — anonymous,
+//! undocumented, partially dirty files — then rescues it with the
+//! maintenance tier: profiling, similarity clustering, domain discovery,
+//! constraint-based cleaning, quality-gated zone promotion, curator
+//! annotation, and finally full-text findability.
+//!
+//! Run with: `cargo run --example swamp_rescue`
+
+use lake::users::Role;
+use lake::zones::Zone;
+use lake::DataLake;
+use lake_discovery::brackenbury::Brackenbury;
+use lake_discovery::corpus::TableCorpus;
+use lake_discovery::DiscoverySystem;
+use lake_maintain::clean::clams;
+
+fn main() -> lake_core::Result<()> {
+    let mut dl = DataLake::new();
+    dl.access.add_user("omar", Role::Operations);
+    dl.access.add_user("carla", Role::Curator);
+    dl.access.add_user("sam", Role::Scientist);
+
+    println!("=== the swamp: cryptic names, no docs, hidden duplicates, dirty rows ===");
+    let ids = [
+        dl.ingest_file("omar", "dump/x1.csv",
+            b"cust,city,country\nc1,delft,nl\nc2,paris,fr\nc3,delft,nl\nc4,rome,it\nc5,paris,fr\n")?,
+        // A near-duplicate of x1 someone exported again…
+        dl.ingest_file("omar", "dump/x1_final_v2.csv",
+            b"cust,city,country\nc1,delft,nl\nc2,paris,fr\nc3,delft,nl\nc4,rome,it\n")?,
+        // …and a dirty sibling with a violated city→country rule.
+        dl.ingest_file("omar", "dump/export(3).csv",
+            b"cust,city,country\nc6,delft,nl\nc7,delft,nl\nc8,delft,nl\nc9,paris,fr\nca,paris,fr\ncb,paris,fr\ncc,paris,fr\ncd,paris,de\n")?,
+        dl.ingest_file("omar", "dump/zz_old.csv",
+            b"sensor,reading\ns1,20.5\ns2,21.0\ns3,19.8\ns4,22.1\ns5,20.0\n")?,
+    ];
+    println!("ingested {} anonymous files into the landing zone\n", ids.len());
+
+    println!("=== step 1: similarity clustering exposes the duplicate cluster ===");
+    let (corpus, corpus_ids) = dl.corpus();
+    let mut brk = Brackenbury::default();
+    brk.build(&corpus);
+    let clusters = brk.cluster(&corpus, 0.6);
+    for (ti, &c) in clusters.iter().enumerate() {
+        println!("  cluster {c}: {}", corpus.tables()[ti].name);
+    }
+    println!("  ({} pairs queued for human review)\n", brk.queue.pending().len());
+
+    println!("=== step 2: constraint discovery flags the dirty file ===");
+    for (ti, &id) in corpus_ids.iter().enumerate() {
+        let table = corpus.tables()[ti].clone();
+        let report = clams::analyze(&table, 0.85);
+        println!(
+            "  {}: {} suspect cells",
+            dl.meta(id)?.name,
+            report.review_queue.len()
+        );
+    }
+    println!();
+
+    println!("=== step 3: quality-gated promotion — dirty data cannot enter trusted ===");
+    for &id in &ids {
+        dl.promote_checked("omar", id)?; // landing → raw (ungated)
+    }
+    for &id in &ids {
+        match dl.promote_checked("omar", id) {
+            Ok(z) => println!("  {} → {}", dl.meta(id)?.name, z.name()),
+            Err(e) => println!("  {} BLOCKED: {e}", dl.meta(id)?.name),
+        }
+    }
+    println!();
+
+    println!("=== step 4: curators document what survived ===");
+    dl.catalog.annotate("dump/x1.csv", "carla", "description", "customer registry (master copy)");
+    dl.catalog.annotate("dump/x1_final_v2.csv", "carla", "description", "duplicate of x1 - deprecate");
+    dl.catalog.annotate("dump/zz_old.csv", "carla", "description", "lab sensor readings 2023");
+    println!("  catalog search 'deprecate' → {:?}", dl.catalog.search("deprecate"));
+    println!();
+
+    println!("=== step 5: the lake is findable again ===");
+    for query in ["paris", "sensor"] {
+        let hits = dl.search("sam", query, 3)?;
+        let names: Vec<String> = hits
+            .iter()
+            .map(|h| dl.meta(h.dataset).map(|m| m.name.clone()).unwrap_or_default())
+            .collect();
+        println!("  search {query:?} → {names:?}");
+    }
+    let trusted = ids
+        .iter()
+        .filter(|&&id| dl.zone_of(id) == Some(Zone::Trusted))
+        .count();
+    println!("\nswamp drained: {trusted}/{} datasets reached the trusted zone;", ids.len());
+    println!("the rest are quarantined with named, reviewable violations.");
+    Ok(())
+}

@@ -1,0 +1,139 @@
+//! Integration test for the newer exploration surfaces: streaming
+//! ingestion → browse cards → SRQL discovery → union search → federated
+//! joins — one continuous session over a single lake.
+
+use lake::users::Role;
+use lake::DataLake;
+use lake_core::Value;
+use lake_discovery::union_search::UnionSearch;
+use lake_discovery::DiscoverySystem;
+use lake_ingest::stream::StreamIngestor;
+
+fn lake() -> DataLake {
+    let mut dl = DataLake::new();
+    dl.access.add_user("omar", Role::Operations);
+    dl.access.add_user("ada", Role::Scientist);
+    dl
+}
+
+#[test]
+fn stream_sample_lands_in_the_lake_and_is_discoverable() {
+    let mut dl = lake();
+    // A high-velocity sensor stream that cannot be stored in full.
+    let mut ing = StreamIngestor::new(&["device", "reading"], 200, 5);
+    for i in 0..100_000i64 {
+        ing.push(vec![
+            Value::str(format!("dev{}", i % 7)),
+            Value::Float((i % 100) as f64),
+        ])
+        .unwrap();
+    }
+    assert_eq!(ing.sample_len(), 200);
+    // Land the bounded sample.
+    let table = ing.sample_table("sensor_sample").unwrap();
+    let id = dl.ingest_table("omar", table).unwrap();
+
+    // Browse card shows schema + statistics.
+    let card = dl.describe_dataset("ada", id).unwrap();
+    assert_eq!(card.kind, "table");
+    assert_eq!(card.records, 200);
+    let device = card.columns.iter().find(|c| c.name == "device").unwrap();
+    assert_eq!(device.distinct, 7);
+
+    // Full-text search finds the stream by device id.
+    let hits = dl.search("ada", "dev3", 5).unwrap();
+    assert_eq!(hits[0].dataset, id);
+}
+
+#[test]
+fn srql_pipeline_over_an_ingested_lake() {
+    let mut dl = lake();
+    dl.ingest_file("omar", "a.csv", b"customer_id,city\nc1,delft\nc2,paris\nc3,rome\n")
+        .unwrap();
+    dl.ingest_file("omar", "b.csv", b"customer_id,total\nc1,10\nc2,20\nc9,5\n")
+        .unwrap();
+    let (corpus, _) = dl.corpus();
+    let mut aurum = lake_discovery::aurum::Aurum::default();
+    aurum.build(&corpus);
+    let pipeline = lake_query::srql::parse("similar_content(a.customer_id) | intersect | keyword(customer)")
+        .unwrap();
+    let rs = lake_query::srql::execute(&aurum, &corpus, &pipeline).unwrap();
+    assert!(!rs.is_empty());
+    let top = rs.ranked_overall();
+    let hit = corpus.profile(top[0].0).unwrap();
+    assert_eq!(hit.name, "customer_id");
+    assert_eq!(hit.at.table, corpus.table_index("b").unwrap());
+}
+
+#[test]
+fn union_then_join_round_trip() {
+    let mut dl = lake();
+    dl.ingest_file("omar", "cities_eu.csv", b"city,country\ndelft,nl\nparis,fr\n")
+        .unwrap();
+    dl.ingest_file("omar", "cities_apac.csv", b"city,country\ntokyo,jp\nparis,fr\n")
+        .unwrap();
+    dl.ingest_file("omar", "population.csv", b"town,people\ndelft,100\ntokyo,900\n")
+        .unwrap();
+    let (corpus, _) = dl.corpus();
+
+    // Union the two city tables.
+    let mut us = UnionSearch::default();
+    us.build(&corpus);
+    let eu = corpus.table_index("cities_eu").unwrap();
+    let apac = corpus.table_index("cities_apac").unwrap();
+    let top = us.top_k_unionable(&corpus, eu, 1);
+    assert_eq!(top[0].0, apac, "{top:?}");
+    let all_cities = us.union_into(&corpus, eu, apac).unwrap();
+    assert_eq!(all_cities.num_rows(), 4);
+
+    // Register the union as a new dataset, then federated-join it with
+    // population.
+    let mut renamed = all_cities;
+    renamed.name = "all_cities".into();
+    dl.ingest_table("omar", renamed).unwrap();
+    let fe = dl.federated();
+    let q = lake_query::ast::parse_join_query(
+        "select city, people from all_cities join population on city = town",
+    )
+    .unwrap();
+    let (joined, _) = fe.execute_join(&q, true).unwrap();
+    assert_eq!(joined.num_rows(), 2);
+    let cities: Vec<String> = joined
+        .column("city")
+        .unwrap()
+        .values
+        .iter()
+        .map(Value::render)
+        .collect();
+    assert!(cities.contains(&"delft".to_string()));
+    assert!(cities.contains(&"tokyo".to_string()), "tokyo arrived via the union: {cities:?}");
+}
+
+#[test]
+fn browse_permission_is_enforced() {
+    let mut dl = lake();
+    let id = dl.ingest_file("omar", "x.csv", b"a\n1\n").unwrap();
+    assert!(dl.describe_dataset("ada", id).is_ok());
+    assert!(dl.describe_dataset("nobody", id).is_err());
+}
+
+#[test]
+fn stream_signatures_join_against_lake_columns() {
+    // The incremental stream signature is comparable against profiled
+    // lake columns — discovery without replaying the stream.
+    let mut dl = lake();
+    dl.ingest_file("omar", "ref.csv", b"device\ndev0\ndev1\ndev2\ndev3\n")
+        .unwrap();
+    let mut ing = StreamIngestor::new(&["device"], 50, 5);
+    for i in 0..10_000i64 {
+        ing.push(vec![Value::str(format!("dev{}", i % 4))]).unwrap();
+    }
+    let (corpus, _) = dl.corpus();
+    let ref_col = corpus.profile(lake_discovery::ColumnRef { table: 0, column: 0 }).unwrap();
+    // Recompute the reference signature under the stream's hasher.
+    let ref_sig = ing
+        .hasher()
+        .signature(ref_col.domain.iter().map(String::as_str));
+    let j = ing.signatures()[0].jaccard(&ref_sig);
+    assert!(j > 0.9, "stream and reference share the domain: {j}");
+}

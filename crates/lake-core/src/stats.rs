@@ -69,7 +69,8 @@ pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {
-        dot / (na.sqrt() * nb.sqrt())
+        // Clamp: rounding can push a self-similarity epsilon above 1.
+        (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
     }
 }
 

@@ -50,7 +50,7 @@ fn encode_blooms(table: &Table) -> Vec<u8> {
 
 /// Parse a sidecar blob back into `(column, filter)` pairs.
 fn decode_blooms(buf: &[u8]) -> Option<Vec<(String, BloomFilter)>> {
-    if buf.len() < 4 || &buf[..4] != b"BLS1" {
+    if buf.get(..4)? != b"BLS1" {
         return None;
     }
     let mut pos = 4;
@@ -60,7 +60,7 @@ fn decode_blooms(buf: &[u8]) -> Option<Vec<(String, BloomFilter)>> {
         let name = get_str(buf, &mut pos).ok()?;
         let len = get_u64(buf, &mut pos).ok()? as usize;
         let end = pos.checked_add(len).filter(|&e| e <= buf.len())?;
-        let bloom = BloomFilter::from_bytes(&buf[pos..end])?;
+        let bloom = BloomFilter::from_bytes(buf.get(pos..end)?)?;
         pos = end;
         out.push((name, bloom));
     }
@@ -169,7 +169,8 @@ impl<'a> LakeTable<'a> {
             let filtered = t.filter(|row| {
                 predicates.iter().all(|p| {
                     t.column_index(&p.attribute)
-                        .map(|i| p.matches(row[i]))
+                        .and_then(|i| row.get(i))
+                        .map(|v| p.matches(v))
                         .unwrap_or(false)
                 })
             });
@@ -206,7 +207,8 @@ impl<'a> LakeTable<'a> {
                 }
             });
         }
-        let merged = merged.expect("files non-empty");
+        let merged = merged
+            .ok_or_else(|| LakeError::invalid("compaction snapshot lists no readable files"))?;
         let key = self.new_file_key();
         self.store.put(&key, &columnar::encode(&merged))?;
         self.store.put(&format!("{key}.bloom"), &encode_blooms(&merged))?;
@@ -254,11 +256,13 @@ impl<'a> LakeTable<'a> {
             let kept = t.filter(|row| {
                 !predicates.iter().all(|p| {
                     t.column_index(&p.attribute)
-                        .map(|i| p.matches(row[i]))
+                        .and_then(|i| row.get(i))
+                        .map(|v| p.matches(v))
                         .unwrap_or(false)
                 })
             });
-            let removed_here = rows - kept.num_rows();
+            // Saturating: a corrupt log row count must not abort the delete.
+            let removed_here = rows.saturating_sub(kept.num_rows());
             if removed_here == 0 {
                 continue;
             }

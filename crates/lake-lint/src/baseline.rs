@@ -1,0 +1,217 @@
+//! The grandfather baseline: existing violations are tolerated, new ones
+//! fail, and the file can only shrink.
+//!
+//! Format is a TOML subset, one table per rule, one `"file" = count`
+//! entry per file, sorted for stable diffs:
+//!
+//! ```toml
+//! [panic]
+//! "crates/lake-core/src/synth.rs" = 3
+//! ```
+//!
+//! Regenerate with `cargo run -p lake-lint -- fix-baseline` after an
+//! intentional burn-down. The lint's own test suite asserts that the
+//! checked-in baseline matches the current workspace exactly, so a
+//! regeneration that *grows* a count will be caught in review as a
+//! baseline diff with the wrong sign.
+
+use std::collections::BTreeMap;
+
+use crate::{Finding, Rule};
+
+/// Per-(rule, file) tolerated violation counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(rule, file) -> count`.
+    pub entries: BTreeMap<(Rule, String), usize>,
+}
+
+impl Baseline {
+    /// Build a baseline that exactly grandfathers `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(Rule, String), usize> = BTreeMap::new();
+        for f in findings {
+            if f.rule == Rule::Layering {
+                continue; // layering violations are never baselinable
+            }
+            *entries.entry((f.rule, f.file.clone())).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Parse the baseline file format. Unknown rule tables are an error —
+    /// a typo silently tolerating nothing (or everything) must not pass.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut current: Option<Rule> = None;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                current = Some(
+                    Rule::from_key(header.trim())
+                        .ok_or_else(|| format!("line {}: unknown rule [{}]", ln + 1, header))?,
+                );
+                continue;
+            }
+            let Some(rule) = current else {
+                return Err(format!("line {}: entry before any [rule] table", ln + 1));
+            };
+            let (file, count) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `\"file\" = count`", ln + 1))?;
+            let file = file.trim().trim_matches('"').to_string();
+            let count: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: count is not a number", ln + 1))?;
+            if count == 0 {
+                return Err(format!(
+                    "line {}: zero-count entry for {file}; delete the line instead",
+                    ln + 1
+                ));
+            }
+            if entries.insert((rule, file.clone()), count).is_some() {
+                return Err(format!("line {}: duplicate entry for {file}", ln + 1));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serialize in the canonical sorted form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# lake-lint baseline — grandfathered violations, one `\"file\" = count` per line.\n\
+             # This file may only SHRINK. Regenerate after a burn-down with:\n\
+             #   cargo run -p lake-lint -- fix-baseline\n",
+        );
+        for rule in [Rule::Panic, Rule::Indexing, Rule::ErrorDiscipline] {
+            let section: Vec<_> =
+                self.entries.iter().filter(|((r, _), _)| *r == rule).collect();
+            if section.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("\n[{}]\n", rule.key()));
+            for ((_, file), count) in section {
+                out.push_str(&format!("\"{file}\" = {count}\n"));
+            }
+        }
+        out
+    }
+
+    /// Tolerated count for one (rule, file).
+    pub fn allowed(&self, rule: Rule, file: &str) -> usize {
+        self.entries.get(&(rule, file.to_string())).copied().unwrap_or(0)
+    }
+}
+
+/// Outcome of comparing current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Findings in excess of the baseline — these fail the check. For a
+    /// file whose count grew, all of that file's findings are listed so
+    /// the offender is visible regardless of which one is "new".
+    pub new_violations: Vec<Finding>,
+    /// Baseline entries now higher than reality — the file improved and
+    /// the baseline should be regenerated (warning, not failure).
+    pub stale: Vec<(Rule, String, usize, usize)>,
+}
+
+/// Compare current `findings` against `baseline`.
+pub fn compare(findings: &[Finding], baseline: &Baseline) -> Comparison {
+    let mut by_key: BTreeMap<(Rule, String), Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        by_key.entry((f.rule, f.file.clone())).or_default().push(f);
+    }
+    let mut cmp = Comparison::default();
+    for ((rule, file), fs) in &by_key {
+        if *rule == Rule::Layering {
+            // Never baselinable: always new.
+            cmp.new_violations.extend(fs.iter().map(|&f| f.clone()));
+            continue;
+        }
+        let allowed = baseline.allowed(*rule, file);
+        if fs.len() > allowed {
+            cmp.new_violations.extend(fs.iter().map(|&f| f.clone()));
+        } else if fs.len() < allowed {
+            cmp.stale.push((*rule, file.clone(), allowed, fs.len()));
+        }
+    }
+    // Entries whose file no longer has findings at all.
+    for ((rule, file), &allowed) in &baseline.entries {
+        if !by_key.contains_key(&(*rule, file.clone())) {
+            cmp.stale.push((*rule, file.clone(), allowed, 0));
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, file: &str, line: usize) -> Finding {
+        Finding { rule, file: file.into(), line, message: "m".into() }
+    }
+
+    #[test]
+    fn roundtrips_canonical_form() {
+        let fs = vec![
+            finding(Rule::Panic, "a.rs", 1),
+            finding(Rule::Panic, "a.rs", 2),
+            finding(Rule::ErrorDiscipline, "b.rs", 3),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let parsed = Baseline::parse(&b.render()).expect("parses");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.allowed(Rule::Panic, "a.rs"), 2);
+        assert_eq!(parsed.allowed(Rule::Panic, "missing.rs"), 0);
+    }
+
+    #[test]
+    fn layering_is_never_grandfathered() {
+        let fs = vec![finding(Rule::Layering, "Cargo.toml", 1)];
+        let b = Baseline::from_findings(&fs);
+        assert!(b.entries.is_empty());
+        let cmp = compare(&fs, &b);
+        assert_eq!(cmp.new_violations.len(), 1);
+    }
+
+    #[test]
+    fn growth_fails_shrink_warns() {
+        let base = Baseline::from_findings(&[
+            finding(Rule::Panic, "a.rs", 1),
+            finding(Rule::Panic, "a.rs", 2),
+        ]);
+        // Same count: clean.
+        let same = vec![finding(Rule::Panic, "a.rs", 9), finding(Rule::Panic, "a.rs", 10)];
+        let cmp = compare(&same, &base);
+        assert!(cmp.new_violations.is_empty() && cmp.stale.is_empty());
+        // Growth: every finding in the file is reported.
+        let grown = vec![
+            finding(Rule::Panic, "a.rs", 1),
+            finding(Rule::Panic, "a.rs", 2),
+            finding(Rule::Panic, "a.rs", 3),
+        ];
+        assert_eq!(compare(&grown, &base).new_violations.len(), 3);
+        // Shrink: stale entry reported with old and new counts.
+        let shrunk = vec![finding(Rule::Panic, "a.rs", 1)];
+        let cmp = compare(&shrunk, &base);
+        assert!(cmp.new_violations.is_empty());
+        assert_eq!(cmp.stale, vec![(Rule::Panic, "a.rs".into(), 2, 1)]);
+        // Full fix: file disappears from findings entirely.
+        let cmp = compare(&[], &base);
+        assert_eq!(cmp.stale, vec![(Rule::Panic, "a.rs".into(), 2, 0)]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_baselines() {
+        assert!(Baseline::parse("[no-such-rule]\n\"a\" = 1\n").is_err());
+        assert!(Baseline::parse("\"orphan\" = 1\n").is_err());
+        assert!(Baseline::parse("[panic]\n\"a\" = zero\n").is_err());
+        assert!(Baseline::parse("[panic]\n\"a\" = 0\n").is_err());
+        assert!(Baseline::parse("[panic]\n\"a\" = 1\n\"a\" = 2\n").is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Error-discipline lint: public library functions must fail with
+//! `lake_core::error` types, not stringly errors.
+//!
+//! Flags `pub fn` signatures whose return type is a `Result` with error
+//! position `String` or `Box<dyn … Error …>`. The workspace-wide
+//! convention is `lake_core::Result<T>` / `LakeError`, which keeps error
+//! kinds matchable (`Conflict` vs `NotFound` drives retry logic in the
+//! lakehouse commit path).
+//!
+//! Signature extraction is line-based on top of a brace-depth walk — no
+//! `syn` available — and deliberately conservative: only signatures it can
+//! fully read (up to `{`, `;`, or `where`) are judged.
+
+use crate::{Finding, Rule};
+
+/// Scan one library source file for stringly-typed public error returns.
+pub fn scan_source(file: &str, src: &str) -> Vec<Finding> {
+    let stripped = strip_comments_and_strings(src);
+    let mut findings = Vec::new();
+    let bytes: Vec<char> = stripped.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut cfg_test_depth: Option<usize> = None;
+    let mut brace_depth = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == '{' {
+            brace_depth += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == '}' {
+            brace_depth = brace_depth.saturating_sub(1);
+            if cfg_test_depth.is_some_and(|d| brace_depth < d) {
+                cfg_test_depth = None;
+            }
+            i += 1;
+            continue;
+        }
+        // Track `#[cfg(test)]` regions so test helpers are exempt.
+        if matches_at(&bytes, i, "#[cfg(test)") {
+            cfg_test_depth = Some(brace_depth);
+            i += 1;
+            continue;
+        }
+        if cfg_test_depth.is_none()
+            && matches_at(&bytes, i, "pub fn ")
+            && (i == 0 || !bytes[i - 1].is_alphanumeric())
+        {
+            // Read the signature through to `{`, `;`, or `where`.
+            let sig_start = i;
+            let mut j = i;
+            let mut sig = String::new();
+            while j < bytes.len() && bytes[j] != '{' && bytes[j] != ';' {
+                sig.push(bytes[j]);
+                j += 1;
+            }
+            let sig_line = line; // findings anchor at the `pub fn` line
+            if let Some(bad) = stringly_error(&sig) {
+                findings.push(Finding {
+                    rule: Rule::ErrorDiscipline,
+                    file: file.to_string(),
+                    line: sig_line,
+                    message: format!(
+                        "public fn returns Result<_, {bad}>; use lake_core::error types"
+                    ),
+                });
+            }
+            // Continue the main walk from the signature end (newlines
+            // inside the signature still need counting).
+            line += bytes[sig_start..j.min(bytes.len())].iter().filter(|&&c| c == '\n').count();
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    findings
+}
+
+fn matches_at(chars: &[char], i: usize, needle: &str) -> bool {
+    needle.chars().enumerate().all(|(k, nc)| chars.get(i + k) == Some(&nc))
+}
+
+/// If the signature's return type is a stringly-typed Result, name the
+/// offending error type.
+fn stringly_error(sig: &str) -> Option<&'static str> {
+    let ret = sig.split("->").nth(1)?;
+    let ret = ret.split(" where ").next().unwrap_or(ret).trim();
+    // Find `Result<…>` (std or aliased path, but NOT lake_core::Result,
+    // whose error type is fixed to LakeError).
+    let idx = ret.find("Result<")?;
+    let prefix = &ret[..idx];
+    if prefix.contains("lake_core") {
+        return None;
+    }
+    let args = &ret[idx + "Result<".len()..];
+    // Split the generic arguments at top level.
+    let mut depth = 0;
+    let mut top_commas = Vec::new();
+    let mut end = args.len();
+    for (bi, c) in args.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' if depth == 0 => {
+                end = bi;
+                break;
+            }
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => top_commas.push(bi),
+            _ => {}
+        }
+    }
+    let second = top_commas.first().map(|&c| args[c + 1..end].trim())?;
+    if second == "String" {
+        return Some("String");
+    }
+    if second.starts_with("Box<dyn") && second.contains("Error") {
+        return Some("Box<dyn Error>");
+    }
+    None
+}
+
+/// Replace comments and string contents with spaces so signature matching
+/// never fires inside them (newlines are preserved for line numbers).
+fn strip_comments_and_strings(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                out.push_str("  ");
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => {
+                            out.push_str("  ");
+                            i += 2;
+                        }
+                        '"' => {
+                            out.push(' ');
+                            i += 1;
+                            break;
+                        }
+                        c => {
+                            out.push(if c == '\n' { '\n' } else { ' ' });
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_string_and_boxed_errors() {
+        let src = r#"
+pub fn bad_string(x: u8) -> Result<u8, String> { Ok(x) }
+pub fn bad_boxed() -> Result<(), Box<dyn std::error::Error>> { Ok(()) }
+"#;
+        let f = scan_source("f.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("String"));
+        assert!(f[1].message.contains("Box<dyn Error>"));
+    }
+
+    #[test]
+    fn accepts_lake_error_results_and_non_results() {
+        let src = r#"
+pub fn good(x: u8) -> lake_core::Result<u8> { Ok(x) }
+pub fn also_good() -> Result<u8, LakeError> { Ok(1) }
+pub fn renders() -> String { String::new() }
+pub fn tuple() -> (String, u8) { (String::new(), 0) }
+fn private_is_exempt() -> Result<(), String> { Ok(()) }
+"#;
+        assert!(scan_source("f.rs", src).is_empty(), "{:?}", scan_source("f.rs", src));
+    }
+
+    #[test]
+    fn nested_generics_split_correctly() {
+        let src = "pub fn f() -> Result<Vec<(String, u8)>, String> { todo!() }";
+        assert_eq!(scan_source("f.rs", src).len(), 1);
+        let ok = "pub fn f() -> Result<HashMap<String, Vec<u8>>, LakeError> { todo!() }";
+        assert!(scan_source("f.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_helpers_are_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    pub fn helper() -> Result<(), String> { Ok(()) }
+}
+"#;
+        assert!(scan_source("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_match() {
+        let src = r#"
+// pub fn commented() -> Result<u8, String> {}
+fn f() { let s = "pub fn fake() -> Result<u8, String>"; }
+"#;
+        assert!(scan_source("f.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! `lake-lint`: repo-native static analysis for the rustlake workspace.
+//!
+//! Three checks keep the survey's architecture and the lakehouse's
+//! reliability story honest as the codebase scales:
+//!
+//! 1. **Panic-freedom** ([`scanner`]): library code must not call
+//!    `.unwrap()`/`.expect()` or invoke `panic!`-family macros; slice
+//!    indexing is additionally banned on configured hot paths (the ACID
+//!    commit/time-travel files). Tests, benches, bins, and examples are
+//!    exempt.
+//! 2. **Tier layering** ([`layering`]): crate dependencies must respect
+//!    the paper's storage → functions → facade DAG; an inverted edge
+//!    fails immediately and cannot be baselined.
+//! 3. **Error discipline** ([`errors`]): `pub fn`s must not return
+//!    `Result<_, String>` or `Box<dyn Error>` — error kinds drive retry
+//!    and conflict handling, so they must stay typed.
+//!
+//! Existing violations are grandfathered in `lake-lint.baseline.toml`
+//! ([`baseline`]); the baseline can only shrink. Run as:
+//!
+//! ```text
+//! cargo run -p lake-lint -- check
+//! cargo run -p lake-lint -- fix-baseline
+//! ```
+
+pub mod baseline;
+pub mod errors;
+pub mod layering;
+pub mod scanner;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Panic-prone construct in library code.
+    Panic,
+    /// Slice indexing on a declared hot path.
+    Indexing,
+    /// Stringly-typed public error return.
+    ErrorDiscipline,
+    /// Tier-inverting dependency edge.
+    Layering,
+}
+
+impl Rule {
+    /// Stable key used in the baseline file and CLI output.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Indexing => "indexing",
+            Rule::ErrorDiscipline => "error-discipline",
+            Rule::Layering => "layering",
+        }
+    }
+
+    /// Inverse of [`Rule::key`].
+    pub fn from_key(key: &str) -> Option<Rule> {
+        match key {
+            "panic" => Some(Rule::Panic),
+            "indexing" => Some(Rule::Indexing),
+            "error-discipline" => Some(Rule::ErrorDiscipline),
+            "layering" => Some(Rule::Layering),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Repo-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Path prefixes (repo-relative, `/`-separated) where the slice-indexing
+/// rule applies: the ACID commit / time-travel paths whose abort-freedom
+/// guarantees depend on no out-of-bounds panics.
+pub const HOT_PATHS: &[&str] = &["crates/lake-house/src/"];
+
+/// Directory names whose contents are exempt from source lints.
+const EXEMPT_DIRS: &[&str] = &["tests", "benches", "bin", "examples", "fixtures", "target"];
+
+/// Scan every first-party crate under `root/crates` — library sources and
+/// manifests — and return all findings sorted by (file, line). The
+/// `crates/vendored/` stand-ins for external dependencies are skipped:
+/// they mirror foreign APIs, not lake conventions.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let manifest = crate_dir.join("Cargo.toml");
+        let rel = relative_to(&manifest, root);
+        findings.extend(layering::check_manifest_file(&manifest, &rel)?);
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            walk_sources(&src, root, &mut findings)?;
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+fn walk_sources(dir: &Path, root: &Path, findings: &mut Vec<Finding>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if EXEMPT_DIRS.contains(&name) {
+                continue;
+            }
+            walk_sources(&path, root, findings)?;
+        } else if name.ends_with(".rs") {
+            let rel = relative_to(&path, root);
+            let src = std::fs::read_to_string(&path)?;
+            let hot = HOT_PATHS.iter().any(|h| rel.starts_with(h));
+            findings.extend(scanner::scan_source(&rel, &src, hot));
+            findings.extend(errors::scan_source(&rel, &src));
+        }
+    }
+    Ok(())
+}
+
+/// Render `path` relative to `root` with forward slashes (stable across
+/// platforms for baseline entries).
+fn relative_to(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Canonical baseline location within a workspace.
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join("lake-lint.baseline.toml")
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Full check result, ready for CLI rendering.
+#[derive(Debug)]
+pub struct Report {
+    /// All current findings (including grandfathered ones).
+    pub findings: Vec<Finding>,
+    /// Comparison against the checked-in baseline.
+    pub comparison: baseline::Comparison,
+}
+
+impl Report {
+    /// Does the check pass (no new violations)?
+    pub fn is_clean(&self) -> bool {
+        self.comparison.new_violations.is_empty()
+    }
+}
+
+/// Run the full check against the baseline at the canonical path; a
+/// missing baseline file is treated as empty (everything counts as new).
+pub fn check(root: &Path) -> Result<Report, String> {
+    let findings = scan_workspace(root).map_err(|e| format!("scan failed: {e}"))?;
+    let base = match std::fs::read_to_string(baseline_path(root)) {
+        Ok(text) => baseline::Baseline::parse(&text)
+            .map_err(|e| format!("lake-lint.baseline.toml: {e}"))?,
+        Err(_) => baseline::Baseline::default(),
+    };
+    let comparison = baseline::compare(&findings, &base);
+    Ok(Report { findings, comparison })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_keys_roundtrip() {
+        for rule in [Rule::Panic, Rule::Indexing, Rule::ErrorDiscipline, Rule::Layering] {
+            assert_eq!(Rule::from_key(rule.key()), Some(rule));
+        }
+        assert_eq!(Rule::from_key("nope"), None);
+    }
+
+    #[test]
+    fn relative_paths_use_forward_slashes() {
+        let root = Path::new("/ws");
+        let p = Path::new("/ws/crates/lake-core/src/lib.rs");
+        assert_eq!(relative_to(p, root), "crates/lake-core/src/lib.rs");
+    }
+}

@@ -1,0 +1,46 @@
+//! Fixture: library code with a known number of panic-lint violations.
+//! Expected findings (hot_path = false): 5 panic.
+//! Expected findings (hot_path = true): 5 panic + 2 indexing.
+
+pub fn two_unwraps(xs: &[i32]) -> i32 {
+    let first = xs.first().unwrap(); // 1
+    let last = xs.last().unwrap(); // 2
+    first + last
+}
+
+pub fn one_expect(s: &str) -> usize {
+    s.parse::<usize>().expect("fixture") // 3
+}
+
+pub fn macros(flag: bool) -> i32 {
+    if flag {
+        panic!("fixture"); // 4
+    }
+    todo!() // 5
+}
+
+pub fn indexing(xs: &[i32], i: usize) -> i32 {
+    let head = xs[0]; // indexing 1 (hot paths only)
+    head + xs[i] // indexing 2 (hot paths only)
+}
+
+pub fn clean(xs: &[i32]) -> Option<i32> {
+    // unwrap_or and friends are fine, and strings/comments never match:
+    // xs.unwrap() panic!()
+    let s = "call .unwrap() here";
+    xs.first().copied().map(|v| v + s.len() as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let xs = vec![1, 2, 3];
+        assert_eq!(xs[0], 1);
+        xs.first().unwrap();
+        "7".parse::<i32>().expect("fine in tests");
+        if xs.len() > 99 {
+            panic!("also fine");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: public functions with stringly error returns.
+//! Expected findings: 2 error-discipline.
+
+pub fn stringly(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| e.to_string()) // 1: String error
+}
+
+pub fn boxed() -> Result<(), Box<dyn std::error::Error>> {
+    Ok(()) // 2: Box<dyn Error>
+}
+
+pub fn typed() -> Result<u64, ParseError> {
+    Ok(7)
+}
+
+pub fn aliased(n: u64) -> lake_core::Result<u64> {
+    Ok(n)
+}
+
+fn private_stringly() -> Result<(), String> {
+    Ok(()) // private fns are exempt
+}
+
+pub struct ParseError;

@@ -1,0 +1,105 @@
+//! Integration tests: fixture files with known violation counts, plus the
+//! workspace-honesty test asserting the checked-in baseline matches what a
+//! fresh scan of this repository produces.
+
+use lake_lint::{baseline::Baseline, layering, scanner, Rule};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn panic_fixture_has_expected_findings() {
+    let src = fixture("panic_lib.rs");
+
+    // Cold path: panic-family findings only, no indexing.
+    let cold = scanner::scan_source("fixtures/panic_lib.rs", &src, false);
+    assert_eq!(cold.len(), 5, "{cold:#?}");
+    assert!(cold.iter().all(|f| f.rule == Rule::Panic), "{cold:#?}");
+    let unwraps = cold.iter().filter(|f| f.message.contains(".unwrap()")).count();
+    let expects = cold.iter().filter(|f| f.message.contains(".expect()")).count();
+    assert_eq!((unwraps, expects), (2, 1), "{cold:#?}");
+
+    // Hot path: the same five plus two slice-indexing findings.
+    let hot = scanner::scan_source("fixtures/panic_lib.rs", &src, true);
+    assert_eq!(hot.len(), 7, "{hot:#?}");
+    assert_eq!(hot.iter().filter(|f| f.rule == Rule::Indexing).count(), 2, "{hot:#?}");
+}
+
+#[test]
+fn tier_inversion_fixture_fails_layering() {
+    let manifest = layering::parse_manifest(&fixture("tier_invert.toml"));
+    assert_eq!(manifest.name, "lake-store");
+    // dev-dependency on lake-house must NOT be parsed as an edge.
+    assert!(!manifest.dependencies.contains(&"lake-house".to_string()), "{manifest:?}");
+
+    let findings = layering::check_manifest(&manifest, "fixtures/tier_invert.toml");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::Layering);
+    assert!(findings[0].message.contains("lake-query"), "{}", findings[0].message);
+
+    // Layering findings can never be hidden by a baseline.
+    let base = Baseline::from_findings(&findings);
+    assert!(base.entries.is_empty());
+    let cmp = lake_lint::baseline::compare(&findings, &base);
+    assert_eq!(cmp.new_violations.len(), 1);
+}
+
+#[test]
+fn string_error_fixture_has_expected_findings() {
+    let src = fixture("string_error.rs");
+    let findings = lake_lint::errors::scan_source("fixtures/string_error.rs", &src);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::ErrorDiscipline));
+    assert!(findings[0].message.contains("String"), "{}", findings[0].message);
+    assert!(findings[1].message.contains("Box<dyn Error>"), "{}", findings[1].message);
+}
+
+fn workspace_root() -> PathBuf {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    lake_lint::find_workspace_root(manifest_dir).expect("workspace root above lake-lint")
+}
+
+/// The checked-in baseline must exactly match a fresh scan: no new
+/// violations (the check would fail) and no stale entries (the baseline
+/// would be lying about how much debt remains).
+#[test]
+fn checked_in_baseline_matches_workspace() {
+    let root = workspace_root();
+    let findings = lake_lint::scan_workspace(&root).expect("scan");
+
+    let text = std::fs::read_to_string(lake_lint::baseline_path(&root))
+        .expect("lake-lint.baseline.toml is checked in");
+    let checked_in = Baseline::parse(&text).expect("baseline parses");
+    let regenerated = Baseline::from_findings(&findings);
+    assert_eq!(
+        checked_in, regenerated,
+        "lake-lint.baseline.toml is out of date; run `cargo run -p lake-lint -- fix-baseline`"
+    );
+
+    let cmp = lake_lint::baseline::compare(&findings, &checked_in);
+    assert!(cmp.new_violations.is_empty(), "{:#?}", cmp.new_violations);
+    assert!(cmp.stale.is_empty(), "{:#?}", cmp.stale);
+}
+
+/// The lakehouse ACID paths were burned down to zero: the baseline must
+/// hold no lake-house entries, and a fresh scan must agree.
+#[test]
+fn lake_house_is_panic_free() {
+    let root = workspace_root();
+    let findings = lake_lint::scan_workspace(&root).expect("scan");
+    let house: Vec<_> =
+        findings.iter().filter(|f| f.file.starts_with("crates/lake-house/")).collect();
+    assert!(house.is_empty(), "{house:#?}");
+}
+
+/// Every first-party manifest respects the tier DAG right now.
+#[test]
+fn workspace_has_no_layering_violations() {
+    let root = workspace_root();
+    let findings = lake_lint::scan_workspace(&root).expect("scan");
+    let layering: Vec<_> = findings.iter().filter(|f| f.rule == Rule::Layering).collect();
+    assert!(layering.is_empty(), "{layering:#?}");
+}

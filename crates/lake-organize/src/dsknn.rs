@@ -227,7 +227,7 @@ mod tests {
             .map(|_| Value::str(format!("person_{}", rng.random_range(0..1000))))
             .collect();
         let cities: Vec<Value> = (0..20)
-            .map(|_| Value::str(["delft", "paris"][rng.random_range(0..2)]))
+            .map(|_| Value::str(["delft", "paris"][rng.random_range(0..2usize)]))
             .collect();
         Table::from_columns(
             format!("people{seed}"),

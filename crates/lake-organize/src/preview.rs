@@ -116,7 +116,7 @@ mod tests {
             })
             .collect();
         let cat: Vec<Value> = (0..rows)
-            .map(|_| Value::str(["a", "b", "c", "d"][rng.random_range(0..4)]))
+            .map(|_| Value::str(["a", "b", "c", "d"][rng.random_range(0..4usize)]))
             .collect();
         Table::from_columns("big", vec![Column::new("x", vals), Column::new("cat", cat)]).unwrap()
     }

@@ -1,0 +1,177 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Supports the surface `lake-bench` uses — `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros. Instead of
+//! criterion's statistical machinery it runs a short warm-up plus a fixed
+//! number of timed samples and prints mean wall-clock time per iteration.
+//! Good enough to smoke-run `cargo bench` offline; numbers are indicative,
+//! not publication grade.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Label for one benchmark case: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, mirroring criterion's display form.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter-only id, used inside a named group.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Per-case timing driver handed to the bench closure.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`: warm-up once, then average `samples` runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up, also defeats DCE
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        let per_iter = start.elapsed() / self.samples as u32;
+        println!("    {:>12?} /iter ({} samples)", per_iter, self.samples);
+    }
+}
+
+/// A named collection of benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-case sample count (criterion clamps to >= 10; we accept any >= 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one case identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("  {}/{}", self.name, id.id);
+        let mut b = Bencher { samples: self.samples };
+        f(&mut b);
+        self
+    }
+
+    /// Run one case with an input borrowed by the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        println!("  {}/{}", self.name, id.id);
+        let mut b = Bencher { samples: self.samples };
+        f(&mut b, input);
+        self
+    }
+
+    /// End the group (prints a trailing separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver (stand-in for criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { name, samples: 10, _criterion: self }
+    }
+
+    /// Run a stand-alone case.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("  {}", id.id);
+        let mut b = Bencher { samples: 10 };
+        f(&mut b);
+        self
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_cases_and_ids_format() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function(BenchmarkId::new("f", 32), |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 2);
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

@@ -1,0 +1,126 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+
+/// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `vec(element, len_range)`: vectors of generated elements.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = sample_len(&self.size, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing `BTreeSet<S::Value>`; sets may be smaller than the
+/// drawn size when duplicates collide (matching proptest's behaviour of
+/// "size is an upper bound under deduplication").
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `btree_set(element, size_range)`: ordered sets of generated elements.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = sample_len(&self.size, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing `BTreeMap<K::Value, V::Value>` (size is an upper
+/// bound under key deduplication).
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+/// `btree_map(key, value, size_range)`: ordered maps of generated pairs.
+pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy { key, value, size }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = sample_len(&self.size, rng);
+        (0..len).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+    }
+}
+
+fn sample_len(size: &Range<usize>, rng: &mut StdRng) -> usize {
+    if size.start >= size.end {
+        size.start
+    } else {
+        rng.random_range(size.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_length_within_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = vec(0u8..10, 2..6);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+
+    #[test]
+    fn set_and_map_respect_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = btree_set(0u8..4, 0..12);
+        let m = btree_map(0u8..4, 100u32..104, 0..12);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng).len() < 12);
+            let map = m.generate(&mut rng);
+            assert!(map.len() < 12);
+            assert!(map.values().all(|&v| (100..104).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of proptest that `tests/proptests.rs` uses: the `proptest!`
+//! runner macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! `any::<T>()`, `Just`, range and tuple strategies, `prop_oneof!`,
+//! `collection::{vec, btree_set, btree_map}`, and string strategies from
+//! a small regex subset (char classes, `{m,n}` repetition, literal
+//! escapes, and `(a|b|c)` alternation groups).
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking — failures report the concrete case and seed instead;
+//! - deterministic seeding derived from the test name, so CI runs are
+//!   reproducible (`PROPTEST_CASES` still overrides the case count).
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod collection;
+
+pub mod string_gen;
+
+/// The names real proptest users import; `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Run each `#[test] fn name(arg in strategy, ...) { body }` as a
+/// property: generate inputs for `cases` iterations, treating
+/// `prop_assert*` failures as test failures and `prop_assume!` rejections
+/// as skipped cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)+) => {
+        $(
+            #[test]
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                    )+
+                    #[allow(unused_mut, clippy::redundant_closure_call)]
+                    let __proptest_outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    __proptest_outcome
+                });
+            }
+        )+
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds (counts as rejected, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |rng: &mut ::rand::rngs::StdRng| {
+                    $crate::strategy::Strategy::generate(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut ::rand::rngs::StdRng) -> _>
+            }),+
+        ])
+    };
+}

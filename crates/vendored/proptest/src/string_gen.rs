@@ -1,0 +1,298 @@
+//! Tiny regex-subset string generator backing `&str` strategies.
+//!
+//! Supported syntax (the subset the workspace's property tests use):
+//! - literal characters, plus `\n`, `\t`, `\\` and escaped punctuation (`\.`)
+//! - character classes `[a-z0-9 _-]` with ranges, literals, and escapes
+//! - bounded repetition `{m}`, `{m,n}` after an atom
+//! - `?`, `*`, `+` (with small implicit bounds for the unbounded forms)
+//! - alternation groups `(csv|json|bin)`
+//!
+//! Anything else is treated as a literal character; generation never fails.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+enum Atom {
+    /// A set of candidate characters (expanded from a class or one literal).
+    Chars(Vec<char>),
+    /// Alternation group: one of several sub-sequences.
+    Group(Vec<Vec<Node>>),
+}
+
+struct Node {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_seq(&chars, &mut pos, None);
+    let mut out = String::new();
+    emit_seq(&seq, rng, &mut out);
+    out
+}
+
+fn emit_seq(seq: &[Node], rng: &mut StdRng, out: &mut String) {
+    for node in seq {
+        let reps =
+            if node.min == node.max { node.min } else { rng.random_range(node.min..=node.max) };
+        for _ in 0..reps {
+            match &node.atom {
+                Atom::Chars(cs) => {
+                    if !cs.is_empty() {
+                        out.push(cs[rng.random_range(0..cs.len())]);
+                    }
+                }
+                Atom::Group(alts) => {
+                    let alt = &alts[rng.random_range(0..alts.len())];
+                    emit_seq(alt, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Parse a sequence until `stop` (or end of input); consumes the stop char.
+fn parse_seq(chars: &[char], pos: &mut usize, stop: Option<char>) -> Vec<Node> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        if Some(c) == stop {
+            *pos += 1;
+            return seq;
+        }
+        let atom = match c {
+            '[' => {
+                *pos += 1;
+                Atom::Chars(parse_class(chars, pos))
+            }
+            '(' => {
+                *pos += 1;
+                Atom::Group(parse_group(chars, pos))
+            }
+            '\\' => {
+                *pos += 1;
+                let e = chars.get(*pos).copied().unwrap_or('\\');
+                *pos += 1;
+                Atom::Chars(vec![unescape(e)])
+            }
+            '.' => {
+                *pos += 1;
+                // Any printable ASCII character.
+                Atom::Chars((0x20u8..0x7f).map(char::from).collect())
+            }
+            other => {
+                *pos += 1;
+                Atom::Chars(vec![other])
+            }
+        };
+        let (min, max) = parse_quantifier(chars, pos);
+        seq.push(Node { atom, min, max });
+    }
+    seq
+}
+
+/// Parse `a|b|c` alternatives up to the closing `)`.
+fn parse_group(chars: &[char], pos: &mut usize) -> Vec<Vec<Node>> {
+    let mut alts = Vec::new();
+    let mut current = Vec::new();
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' => {
+                *pos += 1;
+                alts.push(current);
+                return alts;
+            }
+            '|' => {
+                *pos += 1;
+                alts.push(std::mem::take(&mut current));
+            }
+            _ => {
+                // Parse a single atom (recursively reusing parse_seq logic
+                // would consume the whole group; step one atom at a time).
+                let single = parse_one(chars, pos);
+                if let Some(n) = single {
+                    current.push(n);
+                }
+            }
+        }
+    }
+    alts.push(current);
+    alts
+}
+
+/// Parse exactly one atom with its quantifier.
+fn parse_one(chars: &[char], pos: &mut usize) -> Option<Node> {
+    if *pos >= chars.len() {
+        return None;
+    }
+    let atom = match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            Atom::Chars(parse_class(chars, pos))
+        }
+        '(' => {
+            *pos += 1;
+            Atom::Group(parse_group(chars, pos))
+        }
+        '\\' => {
+            *pos += 1;
+            let e = chars.get(*pos).copied().unwrap_or('\\');
+            *pos += 1;
+            Atom::Chars(vec![unescape(e)])
+        }
+        other => {
+            *pos += 1;
+            Atom::Chars(vec![other])
+        }
+    };
+    let (min, max) = parse_quantifier(chars, pos);
+    Some(Node { atom, min, max })
+}
+
+/// Expand a `[...]` class into its candidate characters; consumes `]`.
+fn parse_class(chars: &[char], pos: &mut usize) -> Vec<char> {
+    let mut cs = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        if c == ']' {
+            *pos += 1;
+            break;
+        }
+        let lo = if c == '\\' {
+            *pos += 1;
+            let e = chars.get(*pos).copied().unwrap_or('\\');
+            unescape(e)
+        } else {
+            c
+        };
+        *pos += 1;
+        // Range `a-z` (a trailing `-` before `]` is a literal dash).
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).map(|&n| n != ']').unwrap_or(false)
+        {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            for v in lo as u32..=hi as u32 {
+                if let Some(ch) = char::from_u32(v) {
+                    cs.push(ch);
+                }
+            }
+        } else {
+            cs.push(lo);
+        }
+    }
+    cs
+}
+
+/// Parse `{m}`, `{m,n}`, `?`, `*`, `+`; defaults to exactly-once.
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> (usize, usize) {
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut text = String::new();
+            while *pos < chars.len() && chars[*pos] != '}' {
+                text.push(chars[*pos]);
+                *pos += 1;
+            }
+            *pos += 1; // consume '}'
+            let parts: Vec<&str> = text.split(',').collect();
+            let min = parts.first().and_then(|s| s.trim().parse().ok()).unwrap_or(1);
+            let max = match parts.get(1) {
+                Some(s) => s.trim().parse().unwrap_or(min),
+                None => min,
+            };
+            (min, max.max(min))
+        }
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn unescape(e: char) -> char {
+    match e {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_repetition_respects_bounds() {
+        for s in all("[a-z]{1,6}", 200) {
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_specials_and_zero_min() {
+        let mut saw_empty = false;
+        for s in all("[a-z0-9 _-]{0,12}", 300) {
+            assert!(s.chars().count() <= 12);
+            saw_empty |= s.is_empty();
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || c == ' '
+                    || c == '_'
+                    || c == '-'),
+                "{s:?}"
+            );
+        }
+        assert!(saw_empty, "min bound 0 should sometimes produce empty strings");
+    }
+
+    #[test]
+    fn escaped_dot_and_alternation_group() {
+        let exts = ["csv", "json", "xml", "log", "txt", "bin"];
+        for s in all("[a-z]{1,8}\\.(csv|json|xml|log|txt|bin)", 200) {
+            let (stem, ext) = s.split_once('.').expect("dot present");
+            assert!((1..=8).contains(&stem.len()), "{s:?}");
+            assert!(exts.contains(&ext), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_containing_quote_and_newline() {
+        // Pattern text as Rust source "[a-z ,\"\n]{0,10}" — the class holds
+        // a literal quote and a literal newline.
+        let pat = "[a-z ,\"\n]{0,10}";
+        for s in all(pat, 200) {
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()
+                    || c == ' '
+                    || c == ','
+                    || c == '"'
+                    || c == '\n'),
+                "{s:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs: skip, don't count.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Number of passing cases required per property (`PROPTEST_CASES` overrides).
+fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// FNV-1a so each property gets a distinct but reproducible seed stream.
+fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive `case` until the target number of cases pass; panic on the first
+/// failure (reporting the case index and seed) or when too many cases are
+/// rejected by `prop_assume!`.
+pub fn run<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let target = cases();
+    let base = seed_of(name);
+    let mut passed = 0u64;
+    let mut rejected = 0u64;
+    let mut index = 0u64;
+    while passed < target {
+        let seed = base.wrapping_add(index);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= target * 16,
+                    "{name}: prop_assume! rejected {rejected} cases \
+                     (only {passed}/{target} passed) — strategy too narrow"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed at case {index} (seed {seed:#x}):\n{msg}");
+            }
+        }
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn passing_property_runs_to_completion() {
+        let mut count = 0u64;
+        run("always_ok", |rng| {
+            count += 1;
+            let v: u8 = rng.random_range(0..=255);
+            if u32::from(v) > 300 {
+                return Err(TestCaseError::fail("impossible"));
+            }
+            Ok(())
+        });
+        assert_eq!(count, cases());
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_context() {
+        run("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    #[should_panic(expected = "strategy too narrow")]
+    fn excessive_rejection_panics() {
+        run("always_rejects", |_| Err(TestCaseError::Reject));
+    }
+
+    #[test]
+    fn seeds_differ_between_properties_but_reproduce() {
+        assert_ne!(seed_of("a"), seed_of("b"));
+        assert_eq!(seed_of("stable"), seed_of("stable"));
+    }
+}

@@ -13,7 +13,6 @@ use lake::users::Role;
 use lake::zones::Zone;
 use lake::DataLake;
 use lake_discovery::brackenbury::Brackenbury;
-use lake_discovery::corpus::TableCorpus;
 use lake_discovery::DiscoverySystem;
 use lake_maintain::clean::clams;
 

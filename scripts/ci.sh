@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification chain for the rustlake workspace:
+# build, test, then the repo-native static-analysis gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo run -p lake-lint -- check

@@ -30,6 +30,11 @@ pub enum LakeError {
     Io(String),
     /// Invalid argument or configuration.
     Invalid(String),
+    /// A transient storage failure (throttling, timeout, connection
+    /// reset). The operation itself was sound and may be retried; the
+    /// [`crate::retry`] combinator absorbs these under a
+    /// [`crate::retry::RetryPolicy`].
+    Transient(String),
 }
 
 impl LakeError {
@@ -53,6 +58,21 @@ impl LakeError {
     pub fn query(msg: impl fmt::Display) -> Self {
         LakeError::Query(msg.to_string())
     }
+    /// Shorthand for [`LakeError::Transient`].
+    pub fn transient(msg: impl fmt::Display) -> Self {
+        LakeError::Transient(msg.to_string())
+    }
+
+    /// Whether blindly re-issuing the failed operation is safe and could
+    /// succeed. Only [`LakeError::Transient`] qualifies: every other kind
+    /// is either deterministic (`Parse`, `Schema`, `Query`, `Invalid`,
+    /// `NotFound`, `PermissionDenied`), requires protocol-level handling
+    /// rather than a blind retry (`Conflict`, `AlreadyExists` — the
+    /// lakehouse commit loop re-reads the log instead), or may have had
+    /// partial effects that a retry would compound (`Io`).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, LakeError::Transient(_))
+    }
 }
 
 impl fmt::Display for LakeError {
@@ -67,6 +87,7 @@ impl fmt::Display for LakeError {
             LakeError::PermissionDenied(s) => write!(f, "permission denied: {s}"),
             LakeError::Io(s) => write!(f, "io error: {s}"),
             LakeError::Invalid(s) => write!(f, "invalid: {s}"),
+            LakeError::Transient(s) => write!(f, "transient error: {s}"),
         }
     }
 }
@@ -93,5 +114,23 @@ mod tests {
     fn io_error_converts() {
         let e: LakeError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
         assert!(matches!(e, LakeError::Io(_)));
+    }
+
+    #[test]
+    fn only_transient_errors_are_retryable() {
+        assert!(LakeError::transient("throttled").is_retryable());
+        for e in [
+            LakeError::not_found("x"),
+            LakeError::AlreadyExists("x".into()),
+            LakeError::parse("x"),
+            LakeError::schema("x"),
+            LakeError::query("x"),
+            LakeError::Conflict("x".into()),
+            LakeError::PermissionDenied("x".into()),
+            LakeError::Io("x".into()),
+            LakeError::invalid("x"),
+        ] {
+            assert!(!e.is_retryable(), "{e}");
+        }
     }
 }

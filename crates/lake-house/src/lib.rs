@@ -12,9 +12,15 @@
 //! * [`table`] — [`table::LakeTable`]: an append/scan/compact table whose
 //!   data files are parquet-lite objects with per-column statistics used
 //!   for data skipping at scan time.
+//! * [`recovery`] — crash recovery: [`log::TxnLog::recover`] quarantines
+//!   torn or corrupt trailing log entries (every entry is checksummed),
+//!   re-verifies checkpoints against replayed state, and restores the
+//!   table to its last fully-valid version.
 
 pub mod log;
+pub mod recovery;
 pub mod table;
 
 pub use log::{Action, Snapshot, TxnLog};
+pub use recovery::RecoveryReport;
 pub use table::LakeTable;

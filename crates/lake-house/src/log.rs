@@ -8,11 +8,53 @@
 //! or abort. Snapshots replay actions; a checkpoint every
 //! `checkpoint_every` commits bounds replay cost. Old versions remain
 //! readable (time travel).
+//!
+//! Every entry carries an FNV-1a checksum over its action list, so a torn
+//! or bit-rotted entry is detected at read time instead of silently
+//! replaying garbage; [`TxnLog::recover`] (in [`crate::recovery`])
+//! quarantines such entries. All object-store I/O runs under a
+//! [`RetryPolicy`], so transient storage failures are absorbed rather
+//! than surfaced to every caller.
 
+use lake_core::retry::{retry_with_stats, Clock, RetryPolicy, RetryStats, SystemClock};
 use lake_core::{Json, LakeError, Result};
 use lake_formats::json as jsonfmt;
 use lake_store::object::ObjectStore;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// FNV-1a 64-bit, the checksum guarding each log entry against torn or
+/// corrupted writes. Rendered as 16 hex digits in the entry's `crc` field.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Parse and integrity-check one serialized log entry. Entries written
+/// before checksums existed (no `crc` field) are accepted; a present but
+/// mismatching checksum is a [`LakeError::Parse`], exactly like torn JSON.
+pub(crate) fn validate_entry(bytes: &[u8]) -> Result<Vec<Action>> {
+    let doc = jsonfmt::parse(&String::from_utf8_lossy(bytes))?;
+    let actions = doc
+        .get("actions")
+        .and_then(Json::as_array)
+        .ok_or_else(|| LakeError::parse("log entry lacks actions"))?;
+    if let Some(stored) = doc.get("crc").and_then(Json::as_str) {
+        let computed =
+            format!("{:016x}", fnv1a64(Json::Array(actions.to_vec()).to_string().as_bytes()));
+        if stored != computed {
+            return Err(LakeError::parse(format!(
+                "log entry checksum mismatch (stored {stored}, computed {computed})"
+            )));
+        }
+    }
+    actions.iter().map(Action::from_json).collect()
+}
 
 /// One logged action.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,7 +173,7 @@ impl Snapshot {
         ])
     }
 
-    fn from_json(j: &Json) -> Result<Snapshot> {
+    pub(crate) fn from_json(j: &Json) -> Result<Snapshot> {
         let version = j
             .get("version")
             .and_then(Json::as_f64)
@@ -171,23 +213,58 @@ impl Snapshot {
 
 /// The transaction log for one table prefix in an object store.
 pub struct TxnLog<'a> {
-    store: &'a dyn ObjectStore,
-    prefix: String,
+    pub(crate) store: &'a dyn ObjectStore,
+    pub(crate) prefix: String,
     /// Write a checkpoint after every N commits.
     pub checkpoint_every: u64,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    stats: Mutex<RetryStats>,
 }
 
 impl<'a> TxnLog<'a> {
     /// Open (or create) the log at `prefix` (e.g. `tables/orders`).
     pub fn open(store: &'a dyn ObjectStore, prefix: &str) -> TxnLog<'a> {
-        TxnLog { store, prefix: prefix.trim_end_matches('/').to_string(), checkpoint_every: 10 }
+        TxnLog {
+            store,
+            prefix: prefix.trim_end_matches('/').to_string(),
+            checkpoint_every: 10,
+            policy: RetryPolicy::default(),
+            clock: Arc::new(SystemClock),
+            stats: Mutex::new(RetryStats::default()),
+        }
     }
 
-    fn entry_key(&self, version: u64) -> String {
+    /// Replace the retry policy governing this handle's object-store I/O.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> TxnLog<'a> {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the backoff clock (tests inject a [`lake_core::ManualClock`]
+    /// so retries never sleep).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> TxnLog<'a> {
+        self.clock = clock;
+        self
+    }
+
+    /// Retry counters accumulated by this handle since it was opened.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.stats.lock()
+    }
+
+    /// Drive one store operation under this log's retry policy,
+    /// accumulating into the handle's [`RetryStats`].
+    pub(crate) fn run_retry<T>(&self, op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut stats = self.stats.lock();
+        retry_with_stats(&self.policy, self.clock.as_ref(), &mut stats, op)
+    }
+
+    pub(crate) fn entry_key(&self, version: u64) -> String {
         format!("{}/_log/{version:020}.json", self.prefix)
     }
 
-    fn checkpoint_key(&self, version: u64) -> String {
+    pub(crate) fn checkpoint_key(&self, version: u64) -> String {
         format!("{}/_log/checkpoint-{version:020}.json", self.prefix)
     }
 
@@ -209,15 +286,22 @@ impl<'a> TxnLog<'a> {
             .unwrap_or(0)
     }
 
-    fn read_entry(&self, version: u64) -> Result<Vec<Action>> {
-        let bytes = self.store.get(&self.entry_key(version))?;
-        let doc = jsonfmt::parse(&String::from_utf8_lossy(&bytes))?;
-        doc.get("actions")
-            .and_then(Json::as_array)
-            .ok_or_else(|| LakeError::parse("log entry lacks actions"))?
-            .iter()
-            .map(Action::from_json)
-            .collect()
+    pub(crate) fn read_entry(&self, version: u64) -> Result<Vec<Action>> {
+        let key = self.entry_key(version);
+        let bytes = self.run_retry(|| self.store.get(&key))?;
+        validate_entry(&bytes)
+    }
+
+    /// Replay entries `1..=version` from scratch, ignoring checkpoints —
+    /// the ground truth recovery verifies checkpoints against.
+    pub(crate) fn replay(&self, version: u64) -> Result<Snapshot> {
+        let mut snap = Snapshot::default();
+        for v in 1..=version {
+            let actions = self.read_entry(v)?;
+            snap.apply(&actions);
+            snap.version = v;
+        }
+        Ok(snap)
     }
 
     fn latest_checkpoint_at_or_before(&self, version: u64) -> Option<Snapshot> {
@@ -237,7 +321,8 @@ impl<'a> TxnLog<'a> {
             }
         }
         let v = best?;
-        let bytes = self.store.get(&self.checkpoint_key(v)).ok()?;
+        let key = self.checkpoint_key(v);
+        let bytes = self.run_retry(|| self.store.get(&key)).ok()?;
         let doc = jsonfmt::parse(&String::from_utf8_lossy(&bytes)).ok()?;
         Snapshot::from_json(&doc).ok()
     }
@@ -264,21 +349,19 @@ impl<'a> TxnLog<'a> {
     /// Returns the new version, or `Conflict` when another writer won.
     pub fn try_commit(&self, base_version: u64, actions: &[Action]) -> Result<u64> {
         let next = base_version + 1;
-        let doc = Json::obj(vec![(
-            "actions",
-            Json::Array(actions.iter().map(Action::to_json).collect()),
-        )]);
-        match self
-            .store
-            .put_if_absent(&self.entry_key(next), doc.to_string().as_bytes())
-        {
+        let actions_json = Json::Array(actions.iter().map(Action::to_json).collect());
+        let crc = format!("{:016x}", fnv1a64(actions_json.to_string().as_bytes()));
+        let doc = Json::obj(vec![("actions", actions_json), ("crc", Json::str(crc))]);
+        let key = self.entry_key(next);
+        let payload = doc.to_string();
+        match self.run_retry(|| self.store.put_if_absent(&key, payload.as_bytes())) {
             Ok(()) => {
                 if self.checkpoint_every > 0 && next % self.checkpoint_every == 0 {
                     // Best-effort checkpoint (readers never require it).
                     if let Ok(snap) = self.snapshot_at(next) {
-                        let _ = self
-                            .store
-                            .put(&self.checkpoint_key(next), snap.to_json().to_string().as_bytes());
+                        let ck = self.checkpoint_key(next);
+                        let body = snap.to_json().to_string();
+                        let _ = self.run_retry(|| self.store.put(&ck, body.as_bytes()));
                     }
                 }
                 Ok(next)
@@ -296,6 +379,17 @@ impl<'a> TxnLog<'a> {
     /// `AddFile`/`SetMeta`) always merge. Returns the committed version.
     pub fn commit(&self, actions: &[Action]) -> Result<u64> {
         let mut base = self.latest_version();
+        // Fail fast on a detectably corrupt tip: committing on top of a
+        // torn entry would strand this commit behind garbage (recovery
+        // quarantines everything past the first corrupt entry, including
+        // otherwise-valid successors). Surfacing the parse error here
+        // keeps torn entries trailing — the caller runs `recover()` and
+        // retries. The conflict path below re-validates every interleaved
+        // entry, so a tip torn *after* this check still cannot be built
+        // upon.
+        if base > 0 {
+            self.read_entry(base)?;
+        }
         for _ in 0..64 {
             // Semantic validation against the base snapshot: a removal of
             // a file that is no longer live means another transaction got
@@ -458,6 +552,55 @@ mod tests {
         assert_eq!(versions, (1..=8).collect::<Vec<u64>>());
         let log = TxnLog::open(store.as_ref(), "t");
         assert_eq!(log.snapshot().unwrap().files.len(), 8);
+    }
+
+    #[test]
+    fn entries_carry_checksums_and_tampering_is_detected() {
+        let store = MemoryStore::new();
+        let log = TxnLog::open(&store, "t");
+        log.commit(&[add("a", 1)]).unwrap();
+        let key = "t/_log/00000000000000000001.json";
+        let bytes = store.get(key).unwrap();
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        assert!(text.contains("\"crc\""), "{text}");
+        // A single corrupted byte in the payload fails validation even
+        // though the tampered entry is still well-formed JSON.
+        let tampered = text.replace("\"path\":\"a\"", "\"path\":\"z\"");
+        assert_ne!(tampered, text);
+        store.put(key, tampered.as_bytes()).unwrap();
+        let r = log.read_entry(1);
+        assert!(matches!(r, Err(LakeError::Parse(_))), "{r:?}");
+    }
+
+    #[test]
+    fn entries_without_checksums_are_tolerated() {
+        let store = MemoryStore::new();
+        let log = TxnLog::open(&store, "t");
+        // A pre-checksum entry, as an older writer would have produced.
+        store
+            .put(
+                "t/_log/00000000000000000001.json",
+                br#"{"actions":[{"action":"add","path":"old","rows":3}]}"#,
+            )
+            .unwrap();
+        assert_eq!(log.snapshot().unwrap().total_rows(), 3);
+    }
+
+    #[test]
+    fn commit_absorbs_transient_store_failures() {
+        use lake_core::{ManualClock, RetryPolicy};
+        use lake_store::{FaultPlan, FaultStore, Op};
+        let store =
+            FaultStore::new(MemoryStore::new(), FaultPlan::new().fail_next(Op::PutIfAbsent, 2));
+        let clock = Arc::new(ManualClock::new());
+        let log = TxnLog::open(&store, "t")
+            .with_retry(RetryPolicy::new(4))
+            .with_clock(clock.clone());
+        assert_eq!(log.commit(&[add("a", 1)]).unwrap(), 1);
+        let stats = log.retry_stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.gave_up, 0);
+        assert_eq!(clock.sleeps().len(), 2, "backoff went through the injected clock");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! appends either merge or conflict cleanly.
 
 use crate::log::{Action, Snapshot, TxnLog};
+use lake_core::retry::{Clock, RetryPolicy, RetryStats};
 use lake_core::{LakeError, Result, Row, Table};
 use lake_formats::columnar;
 use lake_formats::varint::{get_str, get_u64, put_str, put_u64};
@@ -16,6 +17,7 @@ use lake_index::bloom::BloomFilter;
 use lake_store::object::ObjectStore;
 use lake_store::predicate::Predicate;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Scan metrics: data-skipping effectiveness (E10).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -92,6 +94,25 @@ impl<'a> LakeTable<'a> {
         &self.log
     }
 
+    /// Replace the retry policy governing all of this handle's
+    /// object-store I/O — log entries and data files alike.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> LakeTable<'a> {
+        self.log = self.log.with_retry(policy);
+        self
+    }
+
+    /// Replace the backoff clock (tests inject a
+    /// [`lake_core::ManualClock`] so retries never sleep).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> LakeTable<'a> {
+        self.log = self.log.with_clock(clock);
+        self
+    }
+
+    /// Retry counters accumulated across this handle's operations.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.log.retry_stats()
+    }
+
     fn new_file_key(&self) -> String {
         let n = self.file_seq.fetch_add(1, Ordering::Relaxed);
         // Thread id keeps concurrent writers from colliding on names.
@@ -106,10 +127,13 @@ impl<'a> LakeTable<'a> {
             return Err(LakeError::invalid("empty append"));
         }
         let key = self.new_file_key();
-        self.store.put(&key, &columnar::encode(batch))?;
+        let body = columnar::encode(batch);
+        self.log.run_retry(|| self.store.put(&key, &body))?;
         // Bloom sidecar: best-effort auxiliary index (readers tolerate its
         // absence, so a crash between the two puts is harmless).
-        self.store.put(&format!("{key}.bloom"), &encode_blooms(batch))?;
+        let bloom_key = format!("{key}.bloom");
+        let sidecar = encode_blooms(batch);
+        self.log.run_retry(|| self.store.put(&bloom_key, &sidecar))?;
         self.log.commit(&[Action::AddFile { path: key, rows: batch.num_rows() }])
     }
 
@@ -129,7 +153,7 @@ impl<'a> LakeTable<'a> {
         let mut stats = ScanStats::default();
         let mut rows = Vec::new();
         for (path, _) in &snap.files {
-            let bytes = self.store.get(path)?;
+            let bytes = self.log.run_retry(|| self.store.get(path))?;
             // Data skipping: equality predicates vs min/max.
             let fstats = columnar::read_stats(&bytes)?;
             let skip = predicates.iter().any(|p| {
@@ -149,7 +173,8 @@ impl<'a> LakeTable<'a> {
                 .filter(|p| p.op == lake_store::predicate::CompareOp::Eq)
                 .collect();
             if !eq_preds.is_empty() {
-                if let Ok(side) = self.store.get(&format!("{path}.bloom")) {
+                let bloom_key = format!("{path}.bloom");
+                if let Ok(side) = self.log.run_retry(|| self.store.get(&bloom_key)) {
                     if let Some(blooms) = decode_blooms(&side) {
                         let provably_absent = eq_preds.iter().any(|p| {
                             blooms
@@ -196,7 +221,7 @@ impl<'a> LakeTable<'a> {
         // Read and merge all live files.
         let mut merged: Option<Table> = None;
         for (path, _) in &snap.files {
-            let t = columnar::decode(&self.store.get(path)?)?;
+            let t = columnar::decode(&self.log.run_retry(|| self.store.get(path))?)?;
             merged = Some(match merged {
                 None => t,
                 Some(mut acc) => {
@@ -210,8 +235,11 @@ impl<'a> LakeTable<'a> {
         let merged = merged
             .ok_or_else(|| LakeError::invalid("compaction snapshot lists no readable files"))?;
         let key = self.new_file_key();
-        self.store.put(&key, &columnar::encode(&merged))?;
-        self.store.put(&format!("{key}.bloom"), &encode_blooms(&merged))?;
+        let body = columnar::encode(&merged);
+        self.log.run_retry(|| self.store.put(&key, &body))?;
+        let bloom_key = format!("{key}.bloom");
+        let sidecar = encode_blooms(&merged);
+        self.log.run_retry(|| self.store.put(&bloom_key, &sidecar))?;
         let mut actions: Vec<Action> = snap
             .files
             .iter()
@@ -239,7 +267,7 @@ impl<'a> LakeTable<'a> {
         let mut actions = Vec::new();
         let mut deleted = 0usize;
         for (path, rows) in &snap.files {
-            let bytes = self.store.get(path)?;
+            let bytes = self.log.run_retry(|| self.store.get(path))?;
             // Skip files whose stats prove no row matches an Eq predicate.
             let fstats = columnar::read_stats(&bytes)?;
             let skip = predicates.iter().any(|p| {
@@ -270,8 +298,11 @@ impl<'a> LakeTable<'a> {
             actions.push(Action::RemoveFile { path: path.clone() });
             if kept.num_rows() > 0 {
                 let key = self.new_file_key();
-                self.store.put(&key, &columnar::encode(&kept))?;
-                self.store.put(&format!("{key}.bloom"), &encode_blooms(&kept))?;
+                let body = columnar::encode(&kept);
+                self.log.run_retry(|| self.store.put(&key, &body))?;
+                let bloom_key = format!("{key}.bloom");
+                let sidecar = encode_blooms(&kept);
+                self.log.run_retry(|| self.store.put(&bloom_key, &sidecar))?;
                 actions.push(Action::AddFile { path: key, rows: kept.num_rows() });
             }
         }
@@ -305,7 +336,7 @@ impl<'a> LakeTable<'a> {
             // A `.bloom` sidecar lives and dies with its data file.
             let owner = key.strip_suffix(".bloom").unwrap_or(&key).to_string();
             if !live.contains(&owner) {
-                self.store.delete(&key)?;
+                self.log.run_retry(|| self.store.delete(&key))?;
                 deleted.push(key);
             }
         }

@@ -17,8 +17,11 @@
 //!   ([`lake_index::minhash::MinHasher::update`]) so discovery indexes stay
 //!   current without replaying the stream.
 
+use lake_core::retry::{retry_with_stats, Clock, RetryPolicy, RetryStats};
 use lake_core::{Field, Row, Schema, Table};
+use lake_formats::columnar;
 use lake_index::minhash::{MinHash, MinHasher};
+use lake_store::object::ObjectStore;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -35,15 +38,22 @@ pub struct StreamIngestor {
     schema_versions: Vec<u64>, // record counts at which the schema changed
     hasher: MinHasher,
     signatures: Vec<MinHash>,
+    retry: RetryStats,
 }
 
 impl StreamIngestor {
     /// Create an ingestor for records with the given columns, keeping a
-    /// uniform sample of at most `capacity` records.
-    pub fn new(columns: &[&str], capacity: usize, seed: u64) -> StreamIngestor {
-        assert!(capacity > 0, "capacity must be positive");
+    /// uniform sample of at most `capacity` records. A zero capacity is
+    /// rejected as [`lake_core::LakeError::Invalid`] — a reservoir that
+    /// can hold nothing cannot sample anything.
+    pub fn new(columns: &[&str], capacity: usize, seed: u64) -> lake_core::Result<StreamIngestor> {
+        if capacity == 0 {
+            return Err(lake_core::LakeError::invalid(
+                "stream ingestor capacity must be positive",
+            ));
+        }
         let hasher = MinHasher::new(128, seed);
-        StreamIngestor {
+        Ok(StreamIngestor {
             columns: columns.iter().map(|s| s.to_string()).collect(),
             capacity,
             reservoir: Vec::with_capacity(capacity),
@@ -53,7 +63,8 @@ impl StreamIngestor {
             schema_versions: Vec::new(),
             hasher: hasher.clone(),
             signatures: columns.iter().map(|_| hasher.signature([])).collect(),
-        }
+            retry: RetryStats::default(),
+        })
     }
 
     /// Ingest one record (must match the column arity).
@@ -138,6 +149,29 @@ impl StreamIngestor {
     pub fn sample_len(&self) -> usize {
         self.reservoir.len()
     }
+
+    /// Persist the current sample to `store` under `key` as a columnar
+    /// blob, absorbing transient store failures under `policy`. Streams
+    /// outlive storage hiccups: the ingestor keeps sampling while the
+    /// flush retries, and the retry counters accumulate in
+    /// [`StreamIngestor::retry_stats`]. Returns the rows written.
+    pub fn flush_sample(
+        &mut self,
+        store: &dyn ObjectStore,
+        key: &str,
+        policy: &RetryPolicy,
+        clock: &dyn Clock,
+    ) -> lake_core::Result<usize> {
+        let table = self.sample_table("sample")?;
+        let body = columnar::encode(&table);
+        retry_with_stats(policy, clock, &mut self.retry, || store.put(key, &body))?;
+        Ok(table.num_rows())
+    }
+
+    /// Retry counters accumulated across this ingestor's flushes.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry
+    }
 }
 
 /// Convenience: ingest an already-parsed value stream.
@@ -147,7 +181,7 @@ pub fn ingest_stream(
     seed: u64,
     records: impl IntoIterator<Item = Row>,
 ) -> lake_core::Result<StreamIngestor> {
-    let mut ing = StreamIngestor::new(columns, capacity, seed);
+    let mut ing = StreamIngestor::new(columns, capacity, seed)?;
     for r in records {
         ing.push(r)?;
     }
@@ -161,7 +195,7 @@ mod tests {
 
     #[test]
     fn memory_stays_bounded() {
-        let mut ing = StreamIngestor::new(&["id", "v"], 100, 1);
+        let mut ing = StreamIngestor::new(&["id", "v"], 100, 1).unwrap();
         for i in 0..50_000i64 {
             ing.push(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
         }
@@ -174,7 +208,7 @@ mod tests {
     #[test]
     fn reservoir_is_roughly_uniform() {
         // Mean of a uniform sample of 0..N should be ≈ N/2.
-        let mut ing = StreamIngestor::new(&["id"], 500, 7);
+        let mut ing = StreamIngestor::new(&["id"], 500, 7).unwrap();
         let n = 100_000i64;
         for i in 0..n {
             ing.push(vec![Value::Int(i)]).unwrap();
@@ -190,7 +224,7 @@ mod tests {
 
     #[test]
     fn schema_drift_is_versioned() {
-        let mut ing = StreamIngestor::new(&["a", "b"], 10, 1);
+        let mut ing = StreamIngestor::new(&["a", "b"], 10, 1).unwrap();
         ing.push(vec![Value::Int(1), Value::str("x")]).unwrap();
         assert_eq!(ing.schema_versions().len(), 1); // initial schema
         ing.push(vec![Value::Int(2), Value::str("y")]).unwrap();
@@ -204,7 +238,7 @@ mod tests {
 
     #[test]
     fn incremental_signatures_match_batch() {
-        let mut ing = StreamIngestor::new(&["k"], 10, 3);
+        let mut ing = StreamIngestor::new(&["k"], 10, 3).unwrap();
         let values: Vec<String> = (0..200).map(|i| format!("v{i}")).collect();
         for v in &values {
             ing.push(vec![Value::str(v.clone())]).unwrap();
@@ -216,8 +250,53 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_is_a_typed_error() {
+        let r = StreamIngestor::new(&["a"], 0, 1);
+        assert!(matches!(r, Err(lake_core::LakeError::Invalid(_))), "{r:?}");
+    }
+
+    #[test]
+    fn flush_sample_retries_transients_and_surfaces_stats() {
+        use lake_core::ManualClock;
+        use lake_store::object::MemoryStore;
+        use lake_store::{FaultPlan, FaultStore, Op};
+
+        let mut ing = StreamIngestor::new(&["id"], 10, 1).unwrap();
+        for i in 0..25i64 {
+            ing.push(vec![Value::Int(i)]).unwrap();
+        }
+        let store = FaultStore::new(MemoryStore::new(), FaultPlan::new().fail_next(Op::Put, 2));
+        let clock = ManualClock::new();
+        let rows = ing
+            .flush_sample(&store, "samples/s1.pql", &RetryPolicy::new(4), &clock)
+            .unwrap();
+        assert_eq!(rows, 10);
+        let stats = ing.retry_stats();
+        assert_eq!(stats.operations, 1);
+        assert_eq!(stats.retries, 2, "two injected transients absorbed");
+        assert_eq!(stats.gave_up, 0);
+        assert_eq!(clock.sleeps().len(), 2, "backoff never really slept");
+        // The sample landed despite the faults.
+        assert!(store.inner().get("samples/s1.pql").is_ok());
+    }
+
+    #[test]
+    fn flush_sample_exhaustion_surfaces_the_transient() {
+        use lake_core::ManualClock;
+        use lake_store::object::MemoryStore;
+        use lake_store::{FaultPlan, FaultStore, Op};
+
+        let mut ing = StreamIngestor::new(&["id"], 4, 1).unwrap();
+        ing.push(vec![Value::Int(1)]).unwrap();
+        let store = FaultStore::new(MemoryStore::new(), FaultPlan::new().fail_next(Op::Put, 10));
+        let r = ing.flush_sample(&store, "s", &RetryPolicy::new(2), &ManualClock::new());
+        assert!(matches!(r, Err(lake_core::LakeError::Transient(_))), "{r:?}");
+        assert_eq!(ing.retry_stats().gave_up, 1);
+    }
+
+    #[test]
     fn arity_mismatch_rejected() {
-        let mut ing = StreamIngestor::new(&["a", "b"], 10, 1);
+        let mut ing = StreamIngestor::new(&["a", "b"], 10, 1).unwrap();
         assert!(ing.push(vec![Value::Int(1)]).is_err());
         assert_eq!(ing.seen(), 0);
     }

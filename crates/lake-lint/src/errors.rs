@@ -10,6 +10,14 @@
 //! Signature extraction is line-based on top of a brace-depth walk — no
 //! `syn` available — and deliberately conservative: only signatures it can
 //! fully read (up to `{`, `;`, or `where`) are judged.
+//!
+//! A second pass ([`scan_atomicity`]) guards the lakehouse's one
+//! correctness primitive: any `ObjectStore` impl that provides
+//! `put_if_absent` must say — in its docs or body comments — what makes
+//! the conditional put atomic. An impl that silently does
+//! check-then-write would corrupt the commit protocol without failing a
+//! single functional test, so the claim has to be written down where
+//! reviewers will see it.
 
 use crate::{Finding, Rule};
 
@@ -74,6 +82,118 @@ pub fn scan_source(file: &str, src: &str) -> Vec<Finding> {
             // inside the signature still need counting).
             line += bytes[sig_start..j.min(bytes.len())].iter().filter(|&&c| c == '\n').count();
             i = j;
+            continue;
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// Scan one library source file for `ObjectStore` impls whose
+/// `put_if_absent` carries no atomicity documentation.
+///
+/// Structure (impl headers, block extents, the `fn put_if_absent`
+/// token) is detected on the comment/string-stripped text; the word
+/// `atomic` is then searched case-insensitively in the *raw* source,
+/// from ~20 lines above the impl header (leading doc comments) through
+/// the end of the impl block (body comments). `#[cfg(test)]` impls are
+/// exempt, like every other source lint.
+pub fn scan_atomicity(file: &str, src: &str) -> Vec<Finding> {
+    let stripped = strip_comments_and_strings(src);
+    let chars: Vec<char> = stripped.chars().collect();
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut brace_depth = 0usize;
+    let mut cfg_test_depth: Option<usize> = None;
+    while i < chars.len() {
+        match chars[i] {
+            '\n' => {
+                line += 1;
+                i += 1;
+                continue;
+            }
+            '{' => {
+                brace_depth += 1;
+                i += 1;
+                continue;
+            }
+            '}' => {
+                brace_depth = brace_depth.saturating_sub(1);
+                if cfg_test_depth.is_some_and(|d| brace_depth < d) {
+                    cfg_test_depth = None;
+                }
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if matches_at(&chars, i, "#[cfg(test)") {
+            cfg_test_depth = Some(brace_depth);
+            i += 1;
+            continue;
+        }
+        let at_impl = matches_at(&chars, i, "impl")
+            && (i == 0 || chars.get(i - 1).map_or(true, |c| !c.is_alphanumeric() && *c != '_'))
+            && chars.get(i + 4).is_some_and(|c| !c.is_alphanumeric() && *c != '_');
+        if cfg_test_depth.is_none() && at_impl {
+            // Header through to `{` (or `;` for e.g. `impl Trait` in a
+            // return position — not a block, skip).
+            let mut j = i;
+            let mut header = String::new();
+            while j < chars.len() && chars[j] != '{' && chars[j] != ';' {
+                header.push(chars[j]);
+                j += 1;
+            }
+            if chars.get(j) != Some(&'{') || !header.contains("ObjectStore for") {
+                line += header.matches('\n').count();
+                i = j;
+                continue;
+            }
+            let impl_line = line;
+            // Walk the block to its matching brace.
+            let block_start = j;
+            let mut depth = 0usize;
+            let mut k = j;
+            while k < chars.len() {
+                match chars.get(k) {
+                    Some('{') => depth += 1,
+                    Some('}') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let body: String = chars.get(block_start..k).unwrap_or(&[]).iter().collect();
+            let end_line =
+                impl_line + header.matches('\n').count() + body.matches('\n').count();
+            if body.contains("fn put_if_absent") {
+                let from = impl_line.saturating_sub(21); // 0-based: 20 lines of leading docs
+                let to = end_line.min(raw_lines.len());
+                let documented = raw_lines
+                    .get(from..to)
+                    .unwrap_or(&[])
+                    .iter()
+                    .any(|l| l.to_ascii_lowercase().contains("atomic"));
+                if !documented {
+                    findings.push(Finding {
+                        rule: Rule::ErrorDiscipline,
+                        file: file.to_string(),
+                        line: impl_line,
+                        message: "ObjectStore impl provides put_if_absent without documenting \
+                                  its atomicity guarantee"
+                            .to_string(),
+                    });
+                }
+            }
+            line = end_line;
+            i = k;
             continue;
         }
         i += 1;
@@ -232,6 +352,77 @@ mod tests {
 }
 "#;
         assert!(scan_source("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_put_if_absent_impl_is_flagged() {
+        let src = r#"
+impl ObjectStore for SilentStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<()> { Ok(()) }
+    fn put_if_absent(&self, key: &str, data: &[u8]) -> Result<()> {
+        if self.exists(key) { return Err(LakeError::already_exists(key)); }
+        self.put(key, data)
+    }
+}
+"#;
+        let f = scan_atomicity("f.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::ErrorDiscipline);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("atomicity"));
+    }
+
+    #[test]
+    fn atomicity_doc_before_or_inside_the_impl_satisfies_the_rule() {
+        let leading = r#"
+/// Conditional put is atomic via the map's write lock.
+impl ObjectStore for DocStore {
+    fn put_if_absent(&self, key: &str, data: &[u8]) -> Result<()> { todo!() }
+}
+"#;
+        assert!(scan_atomicity("f.rs", leading).is_empty());
+        let inline = r#"
+impl ObjectStore for DocStore {
+    fn put_if_absent(&self, key: &str, data: &[u8]) -> Result<()> {
+        // Atomic: one critical section covers check and insert.
+        todo!()
+    }
+}
+"#;
+        assert!(scan_atomicity("f.rs", inline).is_empty());
+    }
+
+    #[test]
+    fn impls_without_put_if_absent_and_test_impls_are_exempt() {
+        let no_conditional_put = r#"
+impl ObjectStore for ReadOnlyStore {
+    fn get(&self, key: &str) -> Result<Vec<u8>> { todo!() }
+}
+"#;
+        assert!(scan_atomicity("f.rs", no_conditional_put).is_empty());
+        let in_tests = r#"
+#[cfg(test)]
+mod tests {
+    impl ObjectStore for FakeStore {
+        fn put_if_absent(&self, key: &str, data: &[u8]) -> Result<()> { todo!() }
+    }
+}
+"#;
+        assert!(scan_atomicity("f.rs", in_tests).is_empty());
+    }
+
+    #[test]
+    fn generic_decorator_impls_are_also_checked() {
+        // Delegation is not an excuse: the wrapper must still say the
+        // guarantee is inherited.
+        let src = r#"
+impl<S: ObjectStore> ObjectStore for Wrapper<S> {
+    fn put_if_absent(&self, key: &str, data: &[u8]) -> Result<()> {
+        self.inner.put_if_absent(key, data)
+    }
+}
+"#;
+        assert_eq!(scan_atomicity("f.rs", src).len(), 1);
     }
 
     #[test]

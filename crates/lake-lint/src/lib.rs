@@ -13,7 +13,10 @@
 //!    fails immediately and cannot be baselined.
 //! 3. **Error discipline** ([`errors`]): `pub fn`s must not return
 //!    `Result<_, String>` or `Box<dyn Error>` — error kinds drive retry
-//!    and conflict handling, so they must stay typed.
+//!    and conflict handling, so they must stay typed. The same pass
+//!    requires every `ObjectStore` impl that provides `put_if_absent` to
+//!    document its atomicity guarantee: the commit protocol's whole
+//!    correctness rests on that one primitive.
 //!
 //! Existing violations are grandfathered in `lake-lint.baseline.toml`
 //! ([`baseline`]); the baseline can only shrink. Run as:
@@ -143,6 +146,7 @@ fn walk_sources(dir: &Path, root: &Path, findings: &mut Vec<Finding>) -> std::io
             let hot = HOT_PATHS.iter().any(|h| rel.starts_with(h));
             findings.extend(scanner::scan_source(&rel, &src, hot));
             findings.extend(errors::scan_source(&rel, &src));
+            findings.extend(errors::scan_atomicity(&rel, &src));
         }
     }
     Ok(())

@@ -19,7 +19,7 @@ use crate::ast::Query;
 use lake_core::{Column, Json, LakeError, Result, Table, Value};
 use lake_store::graphstore::TriplePattern;
 use lake_store::predicate::Predicate;
-use lake_store::{ObjectStore, Polystore, StoreKind};
+use lake_store::{Polystore, StoreKind};
 use std::collections::BTreeMap;
 
 /// One source backing a mediated table.

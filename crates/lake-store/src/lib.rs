@@ -18,8 +18,12 @@
 //! * [`polystore`] — the Constance-style router that places each ingested
 //!   dataset in the store matching its original format (§4.3) and provides
 //!   integrated retrieval.
+//! * [`fault`] — a deterministic fault-injecting [`ObjectStore`]
+//!   decorator (transient errors, torn writes, scripted crash points)
+//!   backing the lakehouse chaos suite.
 
 pub mod document;
+pub mod fault;
 pub mod graphstore;
 pub mod kv;
 pub mod object;
@@ -27,6 +31,7 @@ pub mod polystore;
 pub mod predicate;
 pub mod relational;
 
+pub use fault::{FaultPlan, FaultStats, FaultStore, Op};
 pub use object::{LocalDirStore, MemoryStore, ObjectStore};
 pub use polystore::{Polystore, StoreKind};
 pub use predicate::{CompareOp, Predicate};

@@ -11,9 +11,11 @@ use crate::document::DocumentStore;
 use crate::graphstore::GraphStore;
 use crate::object::{MemoryStore, ObjectStore};
 use crate::relational::RelationalStore;
+use lake_core::retry::{retry_with_stats, Clock, RetryPolicy, RetryStats, SystemClock};
 use lake_core::{Dataset, DatasetId, DatasetKind, Json, LakeError, PropertyGraph, Result};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Which underlying store holds a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,9 +69,14 @@ pub struct Polystore {
     pub documents: DocumentStore,
     /// Graph substrate.
     pub graphs: GraphStore,
-    /// File substrate.
-    pub files: MemoryStore,
+    /// File substrate — pluggable, so deployments can swap the in-memory
+    /// default for a local directory (or a fault-injecting decorator in
+    /// chaos tests).
+    pub files: Box<dyn ObjectStore>,
     placements: RwLock<BTreeMap<DatasetId, Placement>>,
+    retry: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    stats: Mutex<RetryStats>,
 }
 
 impl Default for Polystore {
@@ -81,13 +88,44 @@ impl Default for Polystore {
 impl Polystore {
     /// A polystore with empty substrates.
     pub fn new() -> Polystore {
+        Polystore::with_file_store(Box::new(MemoryStore::new()))
+    }
+
+    /// A polystore whose file substrate is the given object store.
+    pub fn with_file_store(files: Box<dyn ObjectStore>) -> Polystore {
         Polystore {
             relational: RelationalStore::new(),
             documents: DocumentStore::new(),
             graphs: GraphStore::new(),
-            files: MemoryStore::new(),
+            files,
             placements: RwLock::new(BTreeMap::new()),
+            retry: RetryPolicy::default(),
+            clock: Arc::new(SystemClock),
+            stats: Mutex::new(RetryStats::default()),
         }
+    }
+
+    /// Replace the retry policy governing file-substrate I/O.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Polystore {
+        self.retry = policy;
+        self
+    }
+
+    /// Replace the backoff clock (tests inject a
+    /// [`lake_core::ManualClock`] so retries never sleep).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Polystore {
+        self.clock = clock;
+        self
+    }
+
+    /// Retry counters accumulated by file-substrate routing.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.stats.lock()
+    }
+
+    fn run_retry<T>(&self, op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut stats = self.stats.lock();
+        retry_with_stats(&self.retry, self.clock.as_ref(), &mut stats, op)
     }
 
     /// Store `dataset` under `id`/`name` using the default placement rule.
@@ -114,7 +152,8 @@ impl Polystore {
             }
             (Dataset::Table(t), StoreKind::File) => {
                 let key = format!("tables/{name}.pql");
-                self.files.put(&key, &lake_formats::columnar::encode(t))?;
+                let body = lake_formats::columnar::encode(t);
+                self.run_retry(|| self.files.put(&key, &body))?;
                 key
             }
             (Dataset::Documents(docs), StoreKind::Document) => {
@@ -127,12 +166,13 @@ impl Polystore {
             }
             (Dataset::Log(lines), StoreKind::File) => {
                 let key = format!("logs/{name}.log");
-                self.files.put(&key, lines.join("\n").as_bytes())?;
+                let body = lines.join("\n");
+                self.run_retry(|| self.files.put(&key, body.as_bytes()))?;
                 key
             }
             (Dataset::Text(t), StoreKind::File) => {
                 let key = format!("texts/{name}.txt");
-                self.files.put(&key, t.as_bytes())?;
+                self.run_retry(|| self.files.put(&key, t.as_bytes()))?;
                 key
             }
             (d, s) => {
@@ -170,7 +210,7 @@ impl Polystore {
             }
             StoreKind::Graph => Dataset::Graph(self.graphs.get_graph(&p.location)?),
             StoreKind::File => {
-                let bytes = self.files.get(&p.location)?;
+                let bytes = self.run_retry(|| self.files.get(&p.location))?;
                 if p.location.ends_with(".pql") {
                     Dataset::Table(lake_formats::columnar::decode(&bytes)?)
                 } else if p.location.ends_with(".log") {
@@ -267,6 +307,26 @@ mod tests {
         assert_eq!(back.as_table().unwrap().num_rows(), 1);
         // The relational store was not touched.
         assert!(ps.relational.table_names().is_empty());
+    }
+
+    #[test]
+    fn pluggable_faulty_file_store_is_absorbed_by_retry() {
+        use crate::fault::{FaultPlan, FaultStore, Op};
+        use lake_core::ManualClock;
+        use lake_core::RetryPolicy;
+
+        let faulty = FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::new().fail_next(Op::Put, 1).fail_next(Op::Get, 1),
+        );
+        let ps = Polystore::with_file_store(Box::new(faulty))
+            .with_retry(RetryPolicy::new(3))
+            .with_clock(Arc::new(ManualClock::new()));
+        ps.store(DatasetId(1), "l", Dataset::Log(vec!["x".into(), "y".into()])).unwrap();
+        assert_eq!(ps.retrieve(DatasetId(1)).unwrap().record_count(), 2);
+        let stats = ps.retry_stats();
+        assert_eq!(stats.retries, 2, "one put and one get transient absorbed");
+        assert_eq!(stats.gave_up, 0);
     }
 
     #[test]

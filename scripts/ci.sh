@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification chain for the rustlake workspace:
-# build, test, then the repo-native static-analysis gate.
+# build, test, the repo-native static-analysis gate, then the
+# fault-injection chaos gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -8,3 +9,4 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo run -p lake-lint -- check
+./scripts/chaos.sh

@@ -20,7 +20,7 @@ fn lake() -> DataLake {
 fn stream_sample_lands_in_the_lake_and_is_discoverable() {
     let mut dl = lake();
     // A high-velocity sensor stream that cannot be stored in full.
-    let mut ing = StreamIngestor::new(&["device", "reading"], 200, 5);
+    let mut ing = StreamIngestor::new(&["device", "reading"], 200, 5).unwrap();
     for i in 0..100_000i64 {
         ing.push(vec![
             Value::str(format!("dev{}", i % 7)),
@@ -124,7 +124,7 @@ fn stream_signatures_join_against_lake_columns() {
     let mut dl = lake();
     dl.ingest_file("omar", "ref.csv", b"device\ndev0\ndev1\ndev2\ndev3\n")
         .unwrap();
-    let mut ing = StreamIngestor::new(&["device"], 50, 5);
+    let mut ing = StreamIngestor::new(&["device"], 50, 5).unwrap();
     for i in 0..10_000i64 {
         ing.push(vec![Value::str(format!("dev{}", i % 4))]).unwrap();
     }

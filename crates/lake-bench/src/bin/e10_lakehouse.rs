@@ -3,7 +3,8 @@
 //! and data-skipping effectiveness as the file count grows.
 
 use lake_core::{Row, Table, Value};
-use lake_house::LakeTable;
+use lake_house::{HouseMetrics, LakeTable};
+use lake_obs::MetricsRegistry;
 use lake_store::predicate::{CompareOp, Predicate};
 use lake_store::MemoryStore;
 use std::sync::Arc;
@@ -17,9 +18,16 @@ fn batch(tag: i64, n: i64) -> Table {
 fn main() {
     println!("E10 — lakehouse ACID over the object store\n");
 
-    // Concurrent writer throughput.
-    println!("{:>8} {:>12} {:>14}", "writers", "commits", "commits/sec");
+    // Concurrent writer throughput, with measured commit latency read
+    // back from the shared lake-obs registry (every writer's HouseMetrics
+    // handle records into the same `lake_house_commit_seconds` histogram).
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>14}",
+        "writers", "commits", "commits/sec", "p50 commit", "p99 commit"
+    );
     for writers in [1usize, 2, 4, 8] {
+        let registry = MetricsRegistry::new();
+        let obs = HouseMetrics::register(&registry);
         let store = Arc::new(MemoryStore::new());
         LakeTable::open(store.as_ref(), "t").append(&batch(0, 10)).unwrap();
         let per_writer = 20;
@@ -27,8 +35,9 @@ fn main() {
         let handles: Vec<_> = (0..writers)
             .map(|w| {
                 let store = Arc::clone(&store);
+                let obs = obs.clone();
                 std::thread::spawn(move || {
-                    let t = LakeTable::open(store.as_ref(), "t");
+                    let t = LakeTable::open(store.as_ref(), "t").with_obs(obs);
                     for i in 0..per_writer {
                         t.append(&batch((w * 100 + i) as i64 + 1, 10)).unwrap();
                     }
@@ -42,7 +51,17 @@ fn main() {
         let commits = writers * per_writer;
         let t = LakeTable::open(store.as_ref(), "t");
         assert_eq!(t.log().latest_version() as usize, commits + 1, "no lost commits");
-        println!("{:>8} {:>12} {:>14.0}", writers, commits, commits as f64 / secs);
+        let snap = registry.snapshot();
+        let commit_seconds = snap.histogram("lake_house_commit_seconds").cloned().unwrap_or_default();
+        assert_eq!(commit_seconds.count, commits as u64, "every commit measured");
+        println!(
+            "{:>8} {:>12} {:>14.0} {:>11.1} us {:>11.1} us",
+            writers,
+            commits,
+            commits as f64 / secs,
+            commit_seconds.quantile(0.5) * 1e6,
+            commit_seconds.quantile(0.99) * 1e6
+        );
     }
 
     // Data skipping as the table accumulates files.

@@ -17,14 +17,21 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Mutex;
 
-/// How to wait between attempts. Injectable so tests can observe the
-/// backoff schedule instead of actually sleeping.
+/// How to wait between attempts — and what time it is. Injectable so
+/// tests can observe the backoff schedule instead of actually sleeping,
+/// and so observability spans/latency histograms replay deterministically
+/// (a [`ManualClock`] advances only when something sleeps on it).
 pub trait Clock: Send + Sync {
     /// Block the caller for `ms` milliseconds (or account for it).
     fn sleep_ms(&self, ms: u64);
+
+    /// Microseconds since an arbitrary fixed origin (process start for the
+    /// real clock, zero for test clocks). Monotonic per clock instance;
+    /// only differences are meaningful.
+    fn now_micros(&self) -> u64;
 }
 
-/// The production clock: really sleeps.
+/// The production clock: really sleeps, reads a real monotonic clock.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SystemClock;
 
@@ -34,17 +41,27 @@ impl Clock for SystemClock {
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
     }
+
+    fn now_micros(&self) -> u64 {
+        static START: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+        let start = START.get_or_init(std::time::Instant::now);
+        u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
 }
 
 /// A test clock: never sleeps, records every requested backoff so the
-/// schedule itself can be asserted.
+/// schedule itself can be asserted. Virtual time starts at zero and
+/// advances only through [`Clock::sleep_ms`] or [`ManualClock::advance_micros`],
+/// so span durations and latency histograms built on it are fully
+/// deterministic.
 #[derive(Debug, Default)]
 pub struct ManualClock {
     slept: Mutex<Vec<u64>>,
+    advanced_micros: std::sync::atomic::AtomicU64,
 }
 
 impl ManualClock {
-    /// A fresh clock with no recorded sleeps.
+    /// A fresh clock with no recorded sleeps, at virtual time zero.
     pub fn new() -> ManualClock {
         ManualClock::default()
     }
@@ -58,6 +75,12 @@ impl ManualClock {
     pub fn total_ms(&self) -> u64 {
         self.sleeps().iter().sum()
     }
+
+    /// Advance virtual time by `us` microseconds without recording a
+    /// sleep — lets tests script exact span durations.
+    pub fn advance_micros(&self, us: u64) {
+        self.advanced_micros.fetch_add(us, std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 impl Clock for ManualClock {
@@ -65,6 +88,13 @@ impl Clock for ManualClock {
         if let Ok(mut s) = self.slept.lock() {
             s.push(ms);
         }
+    }
+
+    fn now_micros(&self) -> u64 {
+        let slept_us = self.total_ms().saturating_mul(1000);
+        slept_us.saturating_add(
+            self.advanced_micros.load(std::sync::atomic::Ordering::Relaxed),
+        )
     }
 }
 
@@ -304,6 +334,21 @@ mod tests {
         let r = retry(&RetryPolicy::none(), &clock, flaky(1));
         assert!(r.is_err());
         assert!(clock.sleeps().is_empty());
+    }
+
+    #[test]
+    fn manual_clock_virtual_time_is_deterministic() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_micros(), 0);
+        clock.sleep_ms(3);
+        assert_eq!(clock.now_micros(), 3_000);
+        clock.advance_micros(42);
+        assert_eq!(clock.now_micros(), 3_042);
+        // The system clock is monotonic (only differences are meaningful).
+        let sys = SystemClock;
+        let a = sys.now_micros();
+        let b = sys.now_micros();
+        assert!(b >= a);
     }
 
     #[test]

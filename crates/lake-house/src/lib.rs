@@ -16,11 +16,16 @@
 //!   torn or corrupt trailing log entries (every entry is checksummed),
 //!   re-verifies checkpoints against replayed state, and restores the
 //!   table to its last fully-valid version.
+//! * [`obs`] — registry metrics (`lake_house_*`) and tracing spans for
+//!   commits, checkpoints, retries, and recovery, attached with
+//!   [`log::TxnLog::with_obs`] / [`table::LakeTable::with_obs`].
 
 pub mod log;
+pub mod obs;
 pub mod recovery;
 pub mod table;
 
 pub use log::{Action, Snapshot, TxnLog};
+pub use obs::HouseMetrics;
 pub use recovery::RecoveryReport;
 pub use table::LakeTable;

@@ -16,6 +16,7 @@
 //! [`RetryPolicy`], so transient storage failures are absorbed rather
 //! than surfaced to every caller.
 
+use crate::obs::HouseMetrics;
 use lake_core::retry::{retry_with_stats, Clock, RetryPolicy, RetryStats, SystemClock};
 use lake_core::{Json, LakeError, Result};
 use lake_formats::json as jsonfmt;
@@ -220,6 +221,7 @@ pub struct TxnLog<'a> {
     policy: RetryPolicy,
     clock: Arc<dyn Clock>,
     stats: Mutex<RetryStats>,
+    obs: Option<HouseMetrics>,
 }
 
 impl<'a> TxnLog<'a> {
@@ -232,6 +234,7 @@ impl<'a> TxnLog<'a> {
             policy: RetryPolicy::default(),
             clock: Arc::new(SystemClock),
             stats: Mutex::new(RetryStats::default()),
+            obs: None,
         }
     }
 
@@ -248,16 +251,36 @@ impl<'a> TxnLog<'a> {
         self
     }
 
+    /// Record commits, checkpoints, recovery, and retry activity into a
+    /// `lake-obs` registry (and, when the [`HouseMetrics`] carries a
+    /// tracer, spans). The [`TxnLog::retry_stats`] API keeps working —
+    /// registry counters are mirrored from the same deltas.
+    pub fn with_obs(mut self, obs: HouseMetrics) -> TxnLog<'a> {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability handles, if any.
+    pub(crate) fn obs(&self) -> Option<&HouseMetrics> {
+        self.obs.as_ref()
+    }
+
     /// Retry counters accumulated by this handle since it was opened.
     pub fn retry_stats(&self) -> RetryStats {
         *self.stats.lock()
     }
 
     /// Drive one store operation under this log's retry policy,
-    /// accumulating into the handle's [`RetryStats`].
+    /// accumulating into the handle's [`RetryStats`] (and mirroring the
+    /// delta into the registry when obs is attached).
     pub(crate) fn run_retry<T>(&self, op: impl FnMut() -> Result<T>) -> Result<T> {
         let mut stats = self.stats.lock();
-        retry_with_stats(&self.policy, self.clock.as_ref(), &mut stats, op)
+        let before = *stats;
+        let out = retry_with_stats(&self.policy, self.clock.as_ref(), &mut stats, op);
+        if let Some(obs) = &self.obs {
+            obs.record_retry_delta(&before, &stats);
+        }
+        out
     }
 
     pub(crate) fn entry_key(&self, version: u64) -> String {
@@ -358,10 +381,15 @@ impl<'a> TxnLog<'a> {
             Ok(()) => {
                 if self.checkpoint_every > 0 && next % self.checkpoint_every == 0 {
                     // Best-effort checkpoint (readers never require it).
+                    let _span = self.obs.as_ref().and_then(|o| o.span("house.checkpoint"));
                     if let Ok(snap) = self.snapshot_at(next) {
                         let ck = self.checkpoint_key(next);
                         let body = snap.to_json().to_string();
-                        let _ = self.run_retry(|| self.store.put(&ck, body.as_bytes()));
+                        if self.run_retry(|| self.store.put(&ck, body.as_bytes())).is_ok() {
+                            if let Some(obs) = &self.obs {
+                                obs.checkpoint_total.inc();
+                            }
+                        }
                     }
                 }
                 Ok(next)
@@ -378,6 +406,22 @@ impl<'a> TxnLog<'a> {
     /// removed a file this transaction also touches). Appends (pure
     /// `AddFile`/`SetMeta`) always merge. Returns the committed version.
     pub fn commit(&self, actions: &[Action]) -> Result<u64> {
+        let _span = self.obs.as_ref().and_then(|o| o.span("house.commit"));
+        let start = self.clock.now_micros();
+        let out = self.commit_inner(actions);
+        if let Some(obs) = &self.obs {
+            obs.commit_seconds
+                .observe(self.clock.now_micros().saturating_sub(start));
+            match &out {
+                Ok(_) => obs.commit_total.inc(),
+                Err(LakeError::Conflict(_)) => obs.commit_conflicts_total.inc(),
+                Err(_) => {}
+            }
+        }
+        out
+    }
+
+    fn commit_inner(&self, actions: &[Action]) -> Result<u64> {
         let mut base = self.latest_version();
         // Fail fast on a detectably corrupt tip: committing on top of a
         // torn entry would strand this commit behind garbage (recovery
@@ -601,6 +645,52 @@ mod tests {
         assert_eq!(stats.retries, 2);
         assert_eq!(stats.gave_up, 0);
         assert_eq!(clock.sleeps().len(), 2, "backoff went through the injected clock");
+    }
+
+    #[test]
+    fn obs_mirrors_commits_retries_and_spans() {
+        use crate::obs::HouseMetrics;
+        use lake_core::{ManualClock, RetryPolicy};
+        use lake_obs::{MetricsRegistry, Tracer};
+        use lake_store::{FaultPlan, FaultStore, Op};
+
+        let store =
+            FaultStore::new(MemoryStore::new(), FaultPlan::new().fail_next(Op::PutIfAbsent, 2));
+        let clock = Arc::new(ManualClock::new());
+        let reg = MetricsRegistry::new();
+        let tracer = Tracer::new(clock.clone());
+        let log = TxnLog::open(&store, "t")
+            .with_retry(RetryPolicy::new(4))
+            .with_clock(clock.clone())
+            .with_obs(HouseMetrics::register(&reg).with_tracer(tracer.clone()));
+
+        assert_eq!(log.commit(&[add("a", 1)]).unwrap(), 1);
+        // Losing a race surfaces as a conflict and is counted as one.
+        let base = log.latest_version();
+        log.try_commit(base, &[Action::RemoveFile { path: "a".into() }]).unwrap();
+        let r = log.commit(&[Action::RemoveFile { path: "a".into() }]);
+        assert!(matches!(r, Err(LakeError::Conflict(_))));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("lake_house_commit_total"), 1);
+        assert_eq!(snap.counter_value("lake_house_commit_conflicts_total"), 1);
+        // Registry counters mirror the bespoke RetryStats exactly.
+        let stats = log.retry_stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(snap.counter_value("lake_house_retry_retries_total"), stats.retries);
+        assert_eq!(snap.counter_value("lake_house_retry_attempts_total"), stats.attempts);
+        assert_eq!(snap.counter_value("lake_house_retry_backoff_ms_total"), stats.backoff_ms);
+        // Backoff time (virtual) shows up in the commit latency histogram.
+        let hist = snap.histogram("lake_house_commit_seconds").cloned().unwrap_or_default();
+        assert_eq!(hist.count, 2);
+        assert!(hist.sum > 0, "manual-clock backoff measured: {}", hist.sum);
+        // Spans recorded one per commit() call.
+        let commits = tracer
+            .finished_spans()
+            .iter()
+            .filter(|s| s.name == "house.commit")
+            .count();
+        assert_eq!(commits, 2);
     }
 
     #[test]

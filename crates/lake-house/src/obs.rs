@@ -1,0 +1,85 @@
+//! Lakehouse observability: registry metrics and tracing spans for the
+//! transaction log.
+//!
+//! [`HouseMetrics`] bundles the pre-registered handles the log's hot
+//! paths update (lock-free after registration). Attach one with
+//! [`TxnLog::with_obs`](crate::log::TxnLog) or
+//! [`LakeTable::with_obs`](crate::table::LakeTable); an optional
+//! [`Tracer`] adds hierarchical spans (`house.commit`,
+//! `house.checkpoint`, `house.recover`, `house.append`) timed by the
+//! log's injectable clock.
+//!
+//! The bespoke [`RetryStats`] surfacing survives unchanged — when obs is
+//! attached, every retry delta is *mirrored* into
+//! `lake_house_retry_*_total` counters, so dashboards and the existing
+//! `retry_stats()` API agree by construction.
+
+use lake_core::retry::RetryStats;
+use lake_obs::{Counter, Histogram, MetricsRegistry, Span, Tracer, MICROS_TO_SECONDS};
+use std::sync::Arc;
+
+/// Pre-registered metric handles for one lakehouse log/table.
+///
+/// Clone is cheap (all fields are `Arc`s); clones update the same
+/// underlying series.
+#[derive(Clone)]
+pub struct HouseMetrics {
+    pub(crate) commit_total: Arc<Counter>,
+    pub(crate) commit_conflicts_total: Arc<Counter>,
+    pub(crate) commit_seconds: Arc<Histogram>,
+    pub(crate) checkpoint_total: Arc<Counter>,
+    pub(crate) append_rows_total: Arc<Counter>,
+    pub(crate) retry_attempts_total: Arc<Counter>,
+    pub(crate) retry_retries_total: Arc<Counter>,
+    pub(crate) retry_gave_up_total: Arc<Counter>,
+    pub(crate) retry_backoff_ms_total: Arc<Counter>,
+    pub(crate) recover_total: Arc<Counter>,
+    pub(crate) recover_quarantined_total: Arc<Counter>,
+    pub(crate) tracer: Option<Tracer>,
+}
+
+impl HouseMetrics {
+    /// Register the `lake_house_*` series in `registry` and return the
+    /// handles. Registering twice against the same registry yields
+    /// handles to the same series.
+    pub fn register(registry: &MetricsRegistry) -> HouseMetrics {
+        HouseMetrics {
+            commit_total: registry.counter("lake_house_commit_total"),
+            commit_conflicts_total: registry.counter("lake_house_commit_conflicts_total"),
+            commit_seconds: registry.histogram("lake_house_commit_seconds", MICROS_TO_SECONDS),
+            checkpoint_total: registry.counter("lake_house_checkpoint_total"),
+            append_rows_total: registry.counter("lake_house_append_rows_total"),
+            retry_attempts_total: registry.counter("lake_house_retry_attempts_total"),
+            retry_retries_total: registry.counter("lake_house_retry_retries_total"),
+            retry_gave_up_total: registry.counter("lake_house_retry_gave_up_total"),
+            retry_backoff_ms_total: registry.counter("lake_house_retry_backoff_ms_total"),
+            recover_total: registry.counter("lake_house_recover_total"),
+            recover_quarantined_total: registry.counter("lake_house_recover_quarantined_total"),
+            tracer: None,
+        }
+    }
+
+    /// Also record spans into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> HouseMetrics {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Start a span when a tracer is attached.
+    pub(crate) fn span(&self, name: &str) -> Option<Span> {
+        self.tracer.as_ref().map(|t| t.span(name))
+    }
+
+    /// Mirror the retry counters accumulated between `before` and
+    /// `after` into the registry.
+    pub(crate) fn record_retry_delta(&self, before: &RetryStats, after: &RetryStats) {
+        self.retry_attempts_total
+            .add(after.attempts.saturating_sub(before.attempts));
+        self.retry_retries_total
+            .add(after.retries.saturating_sub(before.retries));
+        self.retry_gave_up_total
+            .add(after.gave_up.saturating_sub(before.gave_up));
+        self.retry_backoff_ms_total
+            .add(after.backoff_ms.saturating_sub(before.backoff_ms));
+    }
+}

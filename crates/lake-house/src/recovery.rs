@@ -107,6 +107,16 @@ impl<'a> TxnLog<'a> {
     /// policy; a persistent storage failure aborts recovery with the
     /// underlying error rather than quarantining readable history.
     pub fn recover(&self) -> Result<RecoveryReport> {
+        let _span = self.obs().and_then(|o| o.span("house.recover"));
+        let out = self.recover_inner();
+        if let (Some(obs), Ok(report)) = (self.obs(), &out) {
+            obs.recover_total.inc();
+            obs.recover_quarantined_total.add(report.quarantined.len() as u64);
+        }
+        out
+    }
+
+    fn recover_inner(&self) -> Result<RecoveryReport> {
         let mut report = RecoveryReport::default();
         let versions = self.entry_versions();
         report.scanned = versions.len() as u64;

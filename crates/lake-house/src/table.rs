@@ -108,6 +108,13 @@ impl<'a> LakeTable<'a> {
         self
     }
 
+    /// Record this table's commits, retries, and appends into a
+    /// `lake-obs` registry (see [`crate::obs::HouseMetrics`]).
+    pub fn with_obs(mut self, obs: crate::obs::HouseMetrics) -> LakeTable<'a> {
+        self.log = self.log.with_obs(obs);
+        self
+    }
+
     /// Retry counters accumulated across this handle's operations.
     pub fn retry_stats(&self) -> RetryStats {
         self.log.retry_stats()
@@ -125,6 +132,10 @@ impl<'a> LakeTable<'a> {
     pub fn append(&self, batch: &Table) -> Result<u64> {
         if batch.num_rows() == 0 {
             return Err(LakeError::invalid("empty append"));
+        }
+        let _span = self.log.obs().and_then(|o| o.span("house.append"));
+        if let Some(obs) = self.log.obs() {
+            obs.append_rows_total.add(batch.num_rows() as u64);
         }
         let key = self.new_file_key();
         let body = columnar::encode(batch);

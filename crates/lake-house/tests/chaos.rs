@@ -10,7 +10,8 @@
 //! snapshot equals replay, and time travel surviving recovery.
 
 use lake_core::{LakeError, ManualClock, RetryPolicy, Row, Table, Value};
-use lake_house::{Action, LakeTable, TxnLog};
+use lake_house::{Action, HouseMetrics, LakeTable, TxnLog};
+use lake_obs::MetricsRegistry;
 use lake_store::object::{MemoryStore, ObjectStore};
 use lake_store::{FaultPlan, FaultStore, Op};
 use std::sync::Arc;
@@ -406,6 +407,48 @@ fn checkpoint_damage_is_found_and_dropped_accurately() {
     assert_eq!(report.checkpoints_dropped, 1, "the corrupt checkpoint at 2");
     assert_eq!(report.checkpoints_verified, 1, "the intact checkpoint at 4");
     assert_eq!(log.snapshot().unwrap().files.len(), 4);
+}
+
+// ------------------------------------------------------------ observability
+
+#[test]
+fn registry_retry_metrics_match_the_scripted_fault_count() {
+    // Every transient the FaultPlan injects must surface as exactly one
+    // retry in the metrics registry — the observability plane may neither
+    // invent faults nor swallow them.
+    for seed in SEEDS {
+        let scripted = 3u64; // 2 × PutIfAbsent + 1 × Get below
+        let faulty = FaultStore::new(
+            MemoryStore::new(),
+            FaultPlan::new().fail_next(Op::PutIfAbsent, 2).fail_next(Op::Get, 1),
+        );
+        let clock = Arc::new(ManualClock::new());
+        let registry = MetricsRegistry::new();
+        let log = TxnLog::open(&faulty, "t")
+            .with_retry(RetryPolicy::new(5).with_base_delay_ms(4).with_jitter_seed(seed))
+            .with_clock(clock)
+            .with_obs(HouseMetrics::register(&registry));
+        log.commit(&[add("a", 1)]).unwrap();
+        log.commit(&[add("b", 2)]).unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(faulty.stats().transients_injected, scripted, "seed {seed}");
+        assert_eq!(
+            snap.counter_value("lake_house_retry_retries_total"),
+            faulty.stats().transients_injected,
+            "registry retries must equal injected transients for seed {seed}"
+        );
+        // The registry mirrors the bespoke RetryStats exactly.
+        let stats = log.retry_stats();
+        assert_eq!(snap.counter_value("lake_house_retry_retries_total"), stats.retries);
+        assert_eq!(snap.counter_value("lake_house_retry_attempts_total"), stats.attempts);
+        assert_eq!(snap.counter_value("lake_house_retry_gave_up_total"), stats.gave_up);
+        assert_eq!(snap.counter_value("lake_house_retry_backoff_ms_total"), stats.backoff_ms);
+        // Both commits landed and were measured.
+        assert_eq!(snap.counter_value("lake_house_commit_total"), 2);
+        let commit_seconds = snap.histogram("lake_house_commit_seconds").unwrap();
+        assert_eq!(commit_seconds.count, 2);
+    }
 }
 
 // ------------------------------------------------------------------- soak

@@ -21,9 +21,34 @@ use lake_core::retry::{retry_with_stats, Clock, RetryPolicy, RetryStats};
 use lake_core::{Field, Row, Schema, Table};
 use lake_formats::columnar;
 use lake_index::minhash::{MinHash, MinHasher};
+use lake_obs::{Counter, Histogram, MetricsRegistry, MICROS_TO_SECONDS};
 use lake_store::object::ObjectStore;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Pre-registered `lake_ingest_*` handles; attached with
+/// [`StreamIngestor::with_obs`].
+#[derive(Debug, Clone)]
+struct IngestMetrics {
+    rows_total: Arc<Counter>,
+    schema_drift_total: Arc<Counter>,
+    flush_total: Arc<Counter>,
+    flush_rows_total: Arc<Counter>,
+    flush_seconds: Arc<Histogram>,
+}
+
+impl IngestMetrics {
+    fn register(registry: &MetricsRegistry) -> IngestMetrics {
+        IngestMetrics {
+            rows_total: registry.counter("lake_ingest_rows_total"),
+            schema_drift_total: registry.counter("lake_ingest_schema_drift_total"),
+            flush_total: registry.counter("lake_ingest_flush_total"),
+            flush_rows_total: registry.counter("lake_ingest_flush_rows_total"),
+            flush_seconds: registry.histogram("lake_ingest_flush_seconds", MICROS_TO_SECONDS),
+        }
+    }
+}
 
 /// A bounded-memory ingestor for one record stream.
 #[derive(Debug)]
@@ -39,6 +64,7 @@ pub struct StreamIngestor {
     hasher: MinHasher,
     signatures: Vec<MinHash>,
     retry: RetryStats,
+    obs: Option<IngestMetrics>,
 }
 
 impl StreamIngestor {
@@ -64,7 +90,16 @@ impl StreamIngestor {
             hasher: hasher.clone(),
             signatures: columns.iter().map(|_| hasher.signature([])).collect(),
             retry: RetryStats::default(),
+            obs: None,
         })
+    }
+
+    /// Record rows, schema drift, and flushes into a `lake-obs` registry
+    /// (`lake_ingest_rows_total`, `lake_ingest_schema_drift_total`,
+    /// `lake_ingest_flush_{total,rows_total,seconds}`).
+    pub fn with_obs(mut self, registry: &MetricsRegistry) -> StreamIngestor {
+        self.obs = Some(IngestMetrics::register(registry));
+        self
     }
 
     /// Ingest one record (must match the column arity).
@@ -77,6 +112,9 @@ impl StreamIngestor {
             )));
         }
         self.seen += 1;
+        if let Some(obs) = &self.obs {
+            obs.rows_total.inc();
+        }
 
         // Incremental schema unification + version tracking.
         let row_schema: Schema = self
@@ -93,6 +131,9 @@ impl StreamIngestor {
         if unified.fingerprint() != self.schema.fingerprint() {
             self.schema = unified;
             self.schema_versions.push(self.seen);
+            if let Some(obs) = &self.obs {
+                obs.schema_drift_total.inc();
+            }
         }
 
         // Incremental signatures.
@@ -164,7 +205,16 @@ impl StreamIngestor {
     ) -> lake_core::Result<usize> {
         let table = self.sample_table("sample")?;
         let body = columnar::encode(&table);
-        retry_with_stats(policy, clock, &mut self.retry, || store.put(key, &body))?;
+        let start = clock.now_micros();
+        let flushed = retry_with_stats(policy, clock, &mut self.retry, || store.put(key, &body));
+        if let Some(obs) = &self.obs {
+            obs.flush_seconds.observe(clock.now_micros().saturating_sub(start));
+            if flushed.is_ok() {
+                obs.flush_total.inc();
+                obs.flush_rows_total.add(table.num_rows() as u64);
+            }
+        }
+        flushed?;
         Ok(table.num_rows())
     }
 
@@ -292,6 +342,33 @@ mod tests {
         let r = ing.flush_sample(&store, "s", &RetryPolicy::new(2), &ManualClock::new());
         assert!(matches!(r, Err(lake_core::LakeError::Transient(_))), "{r:?}");
         assert_eq!(ing.retry_stats().gave_up, 1);
+    }
+
+    #[test]
+    fn obs_registry_tracks_rows_drift_and_flushes() {
+        use lake_core::ManualClock;
+        use lake_store::object::MemoryStore;
+
+        let reg = MetricsRegistry::new();
+        let mut ing = StreamIngestor::new(&["a"], 4, 1).unwrap().with_obs(&reg);
+        ing.push(vec![Value::Int(1)]).unwrap();
+        ing.push(vec![Value::Int(2)]).unwrap();
+        ing.push(vec![Value::Float(2.5)]).unwrap(); // drift: int → float
+        let store = MemoryStore::new();
+        let rows = ing
+            .flush_sample(&store, "s", &RetryPolicy::none(), &ManualClock::new())
+            .unwrap();
+        assert_eq!(rows, 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("lake_ingest_rows_total"), 3);
+        // Initial schema + one drift.
+        assert_eq!(snap.counter_value("lake_ingest_schema_drift_total"), 2);
+        assert_eq!(snap.counter_value("lake_ingest_flush_total"), 1);
+        assert_eq!(snap.counter_value("lake_ingest_flush_rows_total"), 3);
+        assert_eq!(
+            snap.histogram("lake_ingest_flush_seconds").map(|h| h.count),
+            Some(1)
+        );
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! *inverts* a tier is a violation. Layering violations are never
 //! baselinable: they fail the check immediately.
 //!
+//! One exception to the tier DAG: cross-cutting **leaf utility** crates
+//! ([`LEAF_UTILITIES`], e.g. `lake-obs`). These sit outside the Fig. 2
+//! pipeline and may be imported from *any* tier, but in exchange may
+//! themselves depend only on tier-0 crates (or other leaf utilities), so
+//! an edge through them can never smuggle in a tier inversion.
+//!
 //! The parser is a deliberately small hand-rolled TOML-subset reader —
 //! enough for the `[dependencies]` tables cargo manifests actually use.
 
@@ -41,6 +47,16 @@ pub const TIERS: &[(&str, u8)] = &[
     ("lake-bench", 3),
     ("lake-lint", 3),
 ];
+
+/// Cross-cutting leaf utility crates: importable from any tier, allowed
+/// to depend only on tier-0 crates and other leaf utilities.
+pub const LEAF_UTILITIES: &[&str] = &["lake-obs"];
+
+/// Is `name` a leaf utility crate (exempt from the tier DAG as a
+/// dependency, but restricted to tier-0 dependencies itself)?
+pub fn is_leaf_utility(name: &str) -> bool {
+    LEAF_UTILITIES.contains(&name)
+}
 
 /// Look up a crate's tier.
 pub fn tier_of(name: &str) -> Option<u8> {
@@ -123,6 +139,27 @@ pub fn parse_manifest(text: &str) -> Manifest {
 /// `manifest_path` is the repo-relative path used in findings.
 pub fn check_manifest(manifest: &Manifest, manifest_path: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
+    if is_leaf_utility(&manifest.name) {
+        // Leaf utilities are importable from anywhere precisely because
+        // their own reach is capped at tier 0.
+        for dep in &manifest.dependencies {
+            if !dep.starts_with("lake") || is_leaf_utility(dep) {
+                continue;
+            }
+            if tier_of(dep) != Some(0) {
+                findings.push(Finding {
+                    rule: Rule::Layering,
+                    file: manifest_path.to_string(),
+                    line: 1,
+                    message: format!(
+                        "leaf utility `{}` may only depend on tier-0 crates, not `{dep}`",
+                        manifest.name
+                    ),
+                });
+            }
+        }
+        return findings;
+    }
     let Some(own_tier) = tier_of(&manifest.name) else {
         if manifest.name.starts_with("lake") {
             findings.push(Finding {
@@ -140,6 +177,9 @@ pub fn check_manifest(manifest: &Manifest, manifest_path: &str) -> Vec<Finding> 
     for dep in &manifest.dependencies {
         if !dep.starts_with("lake") {
             continue; // vendored/external stand-ins are exempt
+        }
+        if is_leaf_utility(dep) {
+            continue; // importable from any tier
         }
         match tier_of(dep) {
             Some(dep_tier) if dep_tier > own_tier => findings.push(Finding {
@@ -229,6 +269,33 @@ workspace = true
             dependencies: vec!["lake-mystery".into()],
         };
         assert_eq!(check_manifest(&unknown_dep, "x").len(), 1);
+    }
+
+    #[test]
+    fn leaf_utility_is_importable_from_every_tier() {
+        for importer in ["lake-store", "lake-house", "lake-query", "lake", "lake-bench"] {
+            let m = Manifest {
+                name: importer.into(),
+                dependencies: vec!["lake-core".into(), "lake-obs".into()],
+            };
+            assert!(check_manifest(&m, "x").is_empty(), "{importer} may import lake-obs");
+        }
+    }
+
+    #[test]
+    fn leaf_utility_reach_is_capped_at_tier_zero() {
+        let ok = Manifest {
+            name: "lake-obs".into(),
+            dependencies: vec!["lake-core".into(), "parking_lot".into()],
+        };
+        assert!(check_manifest(&ok, "x").is_empty());
+        let bad = Manifest {
+            name: "lake-obs".into(),
+            dependencies: vec!["lake-store".into()],
+        };
+        let f = check_manifest(&bad, "crates/lake-obs/Cargo.toml");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("tier-0"), "{}", f[0].message);
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Snapshot exporters: Prometheus text exposition format and JSON.
+//!
+//! Both exporters are pure functions over a [`MetricsSnapshot`], so the
+//! same snapshot can be rendered either way and output is byte-for-byte
+//! deterministic (snapshots are sorted by metric identity).
+
+use crate::metrics::{HistogramSnapshot, MetricId, MetricsSnapshot};
+use lake_core::Json;
+use std::collections::BTreeMap;
+
+/// Escape a Prometheus label value: backslash, double quote, and
+/// newline must be backslash-escaped per the text exposition format.
+fn escape_label(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render `{k="v",...}` for a label set, or nothing when unlabeled.
+/// `extra` appends one more pair (used for histogram `le`).
+fn write_labels(labels: &[(String, String)], extra: Option<(&str, &str)>, out: &mut String) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(v, out);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(v, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Format a scaled bound the way Prometheus expects (`1`, `0.000001`,
+/// `67.108864`); Rust's `f64` Display already renders shortest-form.
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+fn write_type_line(name: &str, kind: &str, last: &mut Option<String>, out: &mut String) {
+    if last.as_deref() != Some(name) {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        *last = Some(name.to_string());
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format:
+/// counters, then gauges, then histograms (each sorted by identity),
+/// with one `# TYPE` line per metric name and cumulative `_bucket`
+/// series ending in `le="+Inf"`.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<String> = None;
+    for (id, value) in &snap.counters {
+        write_type_line(&id.name, "counter", &mut last_name, &mut out);
+        out.push_str(&id.name);
+        write_labels(&id.labels, None, &mut out);
+        out.push_str(&format!(" {value}\n"));
+    }
+    last_name = None;
+    for (id, value) in &snap.gauges {
+        write_type_line(&id.name, "gauge", &mut last_name, &mut out);
+        out.push_str(&id.name);
+        write_labels(&id.labels, None, &mut out);
+        out.push_str(&format!(" {value}\n"));
+    }
+    last_name = None;
+    for (id, hist) in &snap.histograms {
+        write_type_line(&id.name, "histogram", &mut last_name, &mut out);
+        for (bound, cumulative) in &hist.buckets {
+            let le = fmt_f64(*bound as f64 * hist.scale);
+            out.push_str(&id.name);
+            out.push_str("_bucket");
+            write_labels(&id.labels, Some(("le", &le)), &mut out);
+            out.push_str(&format!(" {cumulative}\n"));
+        }
+        out.push_str(&id.name);
+        out.push_str("_bucket");
+        write_labels(&id.labels, Some(("le", "+Inf")), &mut out);
+        out.push_str(&format!(" {}\n", hist.count));
+        out.push_str(&id.name);
+        out.push_str("_sum");
+        write_labels(&id.labels, None, &mut out);
+        out.push_str(&format!(" {}\n", fmt_f64(hist.sum_scaled())));
+        out.push_str(&id.name);
+        out.push_str("_count");
+        write_labels(&id.labels, None, &mut out);
+        out.push_str(&format!(" {}\n", hist.count));
+    }
+    out
+}
+
+fn labels_json(id: &MetricId) -> Json {
+    let map: BTreeMap<String, Json> = id
+        .labels
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+        .collect();
+    Json::Object(map)
+}
+
+fn histogram_json(hist: &HistogramSnapshot) -> Vec<(&'static str, Json)> {
+    let buckets: Vec<Json> = hist
+        .buckets
+        .iter()
+        .map(|(bound, cumulative)| {
+            Json::obj(vec![
+                ("le", Json::Num(*bound as f64 * hist.scale)),
+                ("count", Json::Num(*cumulative as f64)),
+            ])
+        })
+        .collect();
+    vec![
+        ("count", Json::Num(hist.count as f64)),
+        ("sum", Json::Num(hist.sum_scaled())),
+        ("p50", Json::Num(hist.quantile(0.50))),
+        ("p90", Json::Num(hist.quantile(0.90))),
+        ("p99", Json::Num(hist.quantile(0.99))),
+        ("buckets", Json::Array(buckets)),
+    ]
+}
+
+/// Build the JSON document for a snapshot:
+/// `{"counters":[{name,labels,value}...],"gauges":[...],"histograms":
+/// [{name,labels,count,sum,p50,p90,p99,buckets:[{le,count}...]}...]}`.
+pub fn json_value(snap: &MetricsSnapshot) -> Json {
+    let counters: Vec<Json> = snap
+        .counters
+        .iter()
+        .map(|(id, value)| {
+            Json::obj(vec![
+                ("name", Json::str(id.name.clone())),
+                ("labels", labels_json(id)),
+                ("value", Json::Num(*value as f64)),
+            ])
+        })
+        .collect();
+    let gauges: Vec<Json> = snap
+        .gauges
+        .iter()
+        .map(|(id, value)| {
+            Json::obj(vec![
+                ("name", Json::str(id.name.clone())),
+                ("labels", labels_json(id)),
+                ("value", Json::Num(*value as f64)),
+            ])
+        })
+        .collect();
+    let histograms: Vec<Json> = snap
+        .histograms
+        .iter()
+        .map(|(id, hist)| {
+            let mut pairs = vec![
+                ("name", Json::str(id.name.clone())),
+                ("labels", labels_json(id)),
+            ];
+            pairs.extend(histogram_json(hist));
+            Json::obj(pairs)
+        })
+        .collect();
+    Json::obj(vec![
+        ("counters", Json::Array(counters)),
+        ("gauges", Json::Array(gauges)),
+        ("histograms", Json::Array(histograms)),
+    ])
+}
+
+/// Render a snapshot as compact canonical JSON (sorted object keys).
+pub fn json_text(snap: &MetricsSnapshot) -> String {
+    json_value(snap).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricsRegistry, MICROS_TO_SECONDS};
+
+    #[test]
+    fn prometheus_counters_gauges_and_type_lines() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("lake_store_get_total", &[("store", "mem")]).add(3);
+        reg.counter_with("lake_store_get_total", &[("store", "dir")]).add(2);
+        reg.gauge("lake_house_open_txns").set(-1);
+        let text = prometheus_text(&reg.snapshot());
+        assert_eq!(
+            text,
+            "# TYPE lake_store_get_total counter\n\
+             lake_store_get_total{store=\"dir\"} 2\n\
+             lake_store_get_total{store=\"mem\"} 3\n\
+             # TYPE lake_house_open_txns gauge\n\
+             lake_house_open_txns -1\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_label_escaping() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("x_total", &[("path", "a\\b\"c\nd")]).inc();
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("x_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"), "got: {text}");
+    }
+
+    #[test]
+    fn prometheus_histogram_has_inf_sum_count() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lake_store_get_seconds", MICROS_TO_SECONDS);
+        h.observe(3); // le=4 raw → le=0.000004 scaled
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE lake_store_get_seconds histogram\n"));
+        assert!(text.contains("lake_store_get_seconds_bucket{le=\"0.000004\"} 1\n"));
+        assert!(text.contains("lake_store_get_seconds_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lake_store_get_seconds_sum 0.000003\n"));
+        assert!(text.contains("lake_store_get_seconds_count 1\n"));
+    }
+
+    #[test]
+    fn json_is_canonical_and_carries_quantiles() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total").add(7);
+        reg.histogram("h_seconds", MICROS_TO_SECONDS).observe(100);
+        let doc = json_value(&reg.snapshot());
+        assert_eq!(doc.path("counters.0.value").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(doc.path("histograms.0.count").and_then(Json::as_f64), Some(1.0));
+        let p99 = doc.path("histograms.0.p99").and_then(Json::as_f64).unwrap_or(0.0);
+        assert!((p99 - 128.0 * MICROS_TO_SECONDS).abs() < 1e-12);
+        // Rendering twice is byte-identical.
+        assert_eq!(json_text(&reg.snapshot()), json_text(&reg.snapshot()));
+    }
+}

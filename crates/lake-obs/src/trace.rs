@@ -1,0 +1,284 @@
+//! Hierarchical tracing spans driven by the injectable [`Clock`].
+//!
+//! A [`Tracer`] hands out [`Span`]s; finishing (or dropping) a span
+//! records a [`SpanRecord`] into the tracer's bounded ring buffer.
+//! Because time comes from [`lake_core::retry::Clock`], traces taken
+//! under `ManualClock` are fully deterministic: a test that advances
+//! virtual time by 42 µs sees a span of exactly 42 µs.
+
+use lake_core::retry::Clock;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default capacity of the tracer's span ring buffer.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+/// A completed span, as stored by the tracer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within this tracer (1-based, allocation order).
+    pub id: u64,
+    /// Parent span id, or 0 for a root span.
+    pub parent: u64,
+    /// Operation name, e.g. `house.commit`.
+    pub name: String,
+    /// Start time in clock microseconds.
+    pub start_micros: u64,
+    /// End time in clock microseconds.
+    pub end_micros: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in microseconds.
+    pub fn duration_micros(&self) -> u64 {
+        self.end_micros.saturating_sub(self.start_micros)
+    }
+}
+
+struct TracerInner {
+    clock: Arc<dyn Clock>,
+    next_id: AtomicU64,
+    /// Ring buffer of finished spans; oldest evicted first.
+    finished: Mutex<std::collections::VecDeque<SpanRecord>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+/// Hands out spans and keeps the most recent [`SpanRecord`]s.
+///
+/// Cloning a `Tracer` is cheap (it is an `Arc` around shared state);
+/// clones feed the same ring buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.inner.capacity)
+            .field("finished", &self.inner.finished.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A tracer with [`DEFAULT_SPAN_CAPACITY`].
+    pub fn new(clock: Arc<dyn Clock>) -> Tracer {
+        Tracer::with_capacity(clock, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A tracer keeping at most `capacity` finished spans (min 1).
+    pub fn with_capacity(clock: Arc<dyn Clock>, capacity: usize) -> Tracer {
+        let capacity = capacity.max(1);
+        Tracer {
+            inner: Arc::new(TracerInner {
+                clock,
+                next_id: AtomicU64::new(1),
+                finished: Mutex::new(std::collections::VecDeque::with_capacity(capacity)),
+                capacity,
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Start a root span.
+    pub fn span(&self, name: &str) -> Span {
+        self.start(name, 0)
+    }
+
+    fn start(&self, name: &str, parent: u64) -> Span {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        Span {
+            tracer: self.clone(),
+            id,
+            parent,
+            name: name.to_string(),
+            start_micros: self.inner.clock.now_micros(),
+            finished: false,
+        }
+    }
+
+    fn record(&self, record: SpanRecord) {
+        let mut finished = self.inner.finished.lock();
+        if finished.len() >= self.inner.capacity {
+            finished.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        finished.push_back(record);
+    }
+
+    /// Finished spans, oldest first.
+    pub fn finished_spans(&self) -> Vec<SpanRecord> {
+        self.inner.finished.lock().iter().cloned().collect()
+    }
+
+    /// Spans evicted from the ring so far.
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discard all finished spans (the eviction counter is kept).
+    pub fn clear(&self) {
+        self.inner.finished.lock().clear();
+    }
+}
+
+/// An in-flight operation. Finishing (explicitly or on drop) records it.
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    parent: u64,
+    name: String,
+    start_micros: u64,
+    finished: bool,
+}
+
+impl Span {
+    /// This span's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Start a child span; its record points back at this span.
+    pub fn child(&self, name: &str) -> Span {
+        self.tracer.start(name, self.id)
+    }
+
+    /// Finish now and return the duration in microseconds.
+    pub fn finish(mut self) -> u64 {
+        self.finish_inner()
+    }
+
+    fn finish_inner(&mut self) -> u64 {
+        if self.finished {
+            return 0;
+        }
+        self.finished = true;
+        let end_micros = self.tracer.inner.clock.now_micros();
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            start_micros: self.start_micros,
+            end_micros,
+        };
+        let duration = record.duration_micros();
+        self.tracer.record(record);
+        duration
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+/// Render finished spans as an indented tree, one span per line:
+/// `name (12 us)` with two spaces of indent per nesting level.
+/// Orphans (parent already evicted from the ring) render as roots.
+pub fn render_tree(spans: &[SpanRecord]) -> String {
+    let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut children: std::collections::BTreeMap<u64, Vec<&SpanRecord>> =
+        std::collections::BTreeMap::new();
+    for span in spans {
+        let parent = if ids.contains(&span.parent) { span.parent } else { 0 };
+        children.entry(parent).or_default().push(span);
+    }
+    let mut out = String::new();
+    // Iterative DFS from the virtual root; stack holds (span, depth).
+    let mut stack: Vec<(&SpanRecord, usize)> = Vec::new();
+    if let Some(roots) = children.get(&0) {
+        for root in roots.iter().rev() {
+            stack.push((root, 0));
+        }
+    }
+    while let Some((span, depth)) = stack.pop() {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&span.name);
+        out.push_str(&format!(" ({} us)\n", span.duration_micros()));
+        if let Some(kids) = children.get(&span.id) {
+            for kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::retry::ManualClock;
+
+    #[test]
+    fn spans_are_deterministic_under_manual_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(clock.clone());
+        let root = tracer.span("ingest");
+        clock.advance_micros(10);
+        let child = root.child("flush");
+        clock.advance_micros(32);
+        assert_eq!(child.finish(), 32);
+        assert_eq!(root.finish(), 42);
+        let spans = tracer.finished_spans();
+        assert_eq!(spans.len(), 2);
+        let flush = spans.iter().find(|s| s.name == "flush").map(|s| s.clone());
+        let ingest = spans.iter().find(|s| s.name == "ingest").map(|s| s.clone());
+        let (flush, ingest) = match (flush, ingest) {
+            (Some(f), Some(i)) => (f, i),
+            _ => unreachable!("both spans recorded"),
+        };
+        assert_eq!(flush.parent, ingest.id);
+        assert_eq!(flush.start_micros, 10);
+        assert_eq!(flush.end_micros, 42);
+        assert_eq!(ingest.duration_micros(), 42);
+    }
+
+    #[test]
+    fn dropping_a_span_records_it_once() {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(clock.clone());
+        {
+            let _span = tracer.span("scoped");
+            clock.advance_micros(5);
+        } // drop records
+        assert_eq!(tracer.finished_spans().len(), 1);
+        // finish() after an explicit finish never double-records: finish
+        // consumes the span, so the type system already forbids it; the
+        // drop path is covered above.
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::with_capacity(clock.clone(), 2);
+        for i in 0..4 {
+            tracer.span(&format!("s{i}")).finish();
+        }
+        let names: Vec<String> =
+            tracer.finished_spans().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["s2".to_string(), "s3".to_string()]);
+        assert_eq!(tracer.dropped_spans(), 2);
+        tracer.clear();
+        assert!(tracer.finished_spans().is_empty());
+    }
+
+    #[test]
+    fn render_tree_indents_children() {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(clock.clone());
+        let root = tracer.span("query");
+        clock.advance_micros(3);
+        root.child("relational").finish();
+        clock.advance_micros(4);
+        root.child("document").finish();
+        root.finish();
+        let tree = render_tree(&tracer.finished_spans());
+        assert_eq!(tree, "query (7 us)\n  relational (0 us)\n  document (0 us)\n");
+    }
+}

@@ -1,0 +1,106 @@
+//! Golden-file tests for the exporters, driven by `ManualClock` so every
+//! byte of output is deterministic.
+//!
+//! To re-bless the golden file after an intentional format change:
+//! `OBS_BLESS=1 cargo test -p lake-obs --test exporters`.
+
+use lake_core::retry::ManualClock;
+use lake_obs::{export, MetricsRegistry, MetricsSnapshot, Tracer, MICROS_TO_SECONDS};
+use std::sync::Arc;
+
+/// A fixed workload measured entirely in virtual time: the snapshot is
+/// identical on every run and every machine.
+fn scripted_snapshot() -> MetricsSnapshot {
+    let clock = Arc::new(ManualClock::new());
+    let reg = MetricsRegistry::new();
+
+    reg.counter_with("lake_store_get_total", &[("store", "mem")]).add(3);
+    reg.counter("lake_store_put_bytes_total").add(2048);
+    // Label value exercising all three escapes: backslash, quote, newline.
+    reg.counter_with("lake_demo_total", &[("path", "a\"b\\c\nd")]).inc();
+    reg.gauge("lake_house_open_txns").set(2);
+
+    // Latencies timed by the manual clock via spans.
+    let tracer = Tracer::new(clock.clone());
+    let get_seconds = reg.histogram("lake_store_get_seconds", MICROS_TO_SECONDS);
+    for us in [3u64, 100, 5_000] {
+        let span = tracer.span("store.get");
+        clock.advance_micros(us);
+        get_seconds.observe(span.finish());
+    }
+    let rel = reg.histogram_with(
+        "lake_query_source_seconds",
+        &[("kind", "relational")],
+        MICROS_TO_SECONDS,
+    );
+    let span = tracer.span("query.relational");
+    clock.advance_micros(1_000);
+    rel.observe(span.finish());
+
+    reg.snapshot()
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("OBS_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "exporter output diverged from {} (re-bless with OBS_BLESS=1 if intentional)",
+        path.display()
+    );
+}
+
+#[test]
+fn prometheus_text_matches_golden() {
+    let text = export::prometheus_text(&scripted_snapshot());
+    assert_matches_golden("snapshot.prom", &text);
+}
+
+#[test]
+fn json_matches_golden_and_round_trips() {
+    let text = export::json_text(&scripted_snapshot());
+    assert_matches_golden("snapshot.json", &text);
+
+    // Round-trip through the tier-1 JSON parser: parse → re-serialize
+    // must be byte-identical (both sides are canonical sorted-key JSON).
+    let parsed = lake_formats::json::parse(&text).expect("exporter emits valid JSON");
+    assert_eq!(parsed.to_string(), text);
+
+    // Spot-check semantic content survived the trip.
+    let store_get = parsed
+        .as_object()
+        .and_then(|o| o.get("histograms"))
+        .and_then(|h| h.as_array())
+        .and_then(|a| {
+            a.iter().find(|h| {
+                h.get("name").and_then(|n| n.as_str()) == Some("lake_store_get_seconds")
+            })
+        })
+        .expect("store get histogram present");
+    assert_eq!(store_get.get("count").and_then(|c| c.as_f64()), Some(3.0));
+    let p99 = store_get.get("p99").and_then(|p| p.as_f64()).unwrap_or(0.0);
+    assert!((p99 - 8192.0 * MICROS_TO_SECONDS).abs() < 1e-12, "p99={p99}");
+}
+
+#[test]
+fn escaped_label_survives_prometheus_rendering() {
+    let text = export::prometheus_text(&scripted_snapshot());
+    assert!(
+        text.contains("lake_demo_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+        "escaping broken in: {text}"
+    );
+    assert!(text.contains("lake_store_get_seconds_bucket{le=\"+Inf\"} 3"));
+    assert!(text.contains("lake_query_source_seconds_bucket{kind=\"relational\",le=\"+Inf\"} 1"));
+}

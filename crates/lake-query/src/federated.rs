@@ -16,11 +16,56 @@
 //! * SPARQL-like triple patterns pass through to the graph store.
 
 use crate::ast::Query;
+use lake_core::retry::Clock;
 use lake_core::{Column, Json, LakeError, Result, Table, Value};
+use lake_obs::{Counter, Histogram, MetricsRegistry, MICROS_TO_SECONDS};
 use lake_store::graphstore::TriplePattern;
 use lake_store::predicate::Predicate;
 use lake_store::{Polystore, StoreKind};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Pre-registered `lake_query_*` handles plus the clock timing
+/// per-backend fan-out; attached with [`FederatedEngine::with_obs`].
+struct QueryMetrics {
+    clock: Arc<dyn Clock>,
+    execute_total: Arc<Counter>,
+    subqueries_total: Arc<Counter>,
+    rows_moved_total: Arc<Counter>,
+    relational_seconds: Arc<Histogram>,
+    document_seconds: Arc<Histogram>,
+    file_seconds: Arc<Histogram>,
+}
+
+impl QueryMetrics {
+    fn register(registry: &MetricsRegistry, clock: Arc<dyn Clock>) -> QueryMetrics {
+        let source = |kind: &str| {
+            registry.histogram_with(
+                "lake_query_source_seconds",
+                &[("kind", kind)],
+                MICROS_TO_SECONDS,
+            )
+        };
+        QueryMetrics {
+            clock,
+            execute_total: registry.counter("lake_query_execute_total"),
+            subqueries_total: registry.counter("lake_query_subqueries_total"),
+            rows_moved_total: registry.counter("lake_query_rows_moved_total"),
+            relational_seconds: source("relational"),
+            document_seconds: source("document"),
+            file_seconds: source("file"),
+        }
+    }
+
+    fn source_seconds(&self, kind: StoreKind) -> Option<&Histogram> {
+        match kind {
+            StoreKind::Relational => Some(&self.relational_seconds),
+            StoreKind::Document => Some(&self.document_seconds),
+            StoreKind::File => Some(&self.file_seconds),
+            StoreKind::Graph => None,
+        }
+    }
+}
 
 /// One source backing a mediated table.
 #[derive(Debug, Clone)]
@@ -46,12 +91,27 @@ pub struct ExecStats {
 pub struct FederatedEngine<'a> {
     store: &'a Polystore,
     mediated: BTreeMap<String, Vec<SourceBinding>>,
+    obs: Option<QueryMetrics>,
 }
 
 impl<'a> FederatedEngine<'a> {
     /// A mediator over a polystore.
     pub fn new(store: &'a Polystore) -> FederatedEngine<'a> {
-        FederatedEngine { store, mediated: BTreeMap::new() }
+        FederatedEngine { store, mediated: BTreeMap::new(), obs: None }
+    }
+
+    /// Attach a metrics registry: `execute` then records
+    /// `lake_query_execute_total`, `lake_query_subqueries_total`,
+    /// `lake_query_rows_moved_total` counters and a per-backend
+    /// `lake_query_source_seconds{kind=...}` fan-out latency histogram
+    /// timed with `clock` (pass a `ManualClock` for deterministic tests).
+    pub fn with_obs(
+        mut self,
+        registry: &MetricsRegistry,
+        clock: Arc<dyn Clock>,
+    ) -> FederatedEngine<'a> {
+        self.obs = Some(QueryMetrics::register(registry, clock));
+        self
     }
 
     /// Register a mediated table.
@@ -85,12 +145,23 @@ impl<'a> FederatedEngine<'a> {
 
         for src in sources {
             stats.subqueries += 1;
-            let rows = self.fetch(src, &select, &query.filters, pushdown, &mut stats)?;
-            for row in rows {
+            let started = self.obs.as_ref().map(|o| o.clock.now_micros());
+            let fetched = self.fetch(src, &select, &query.filters, pushdown, &mut stats);
+            if let (Some(obs), Some(start)) = (self.obs.as_ref(), started) {
+                if let Some(hist) = obs.source_seconds(src.store) {
+                    hist.observe(obs.clock.now_micros().saturating_sub(start));
+                }
+            }
+            for row in fetched? {
                 for (c, v) in out_cols.iter_mut().zip(row) {
                     c.values.push(v);
                 }
             }
+        }
+        if let Some(obs) = self.obs.as_ref() {
+            obs.execute_total.inc();
+            obs.subqueries_total.add(stats.subqueries as u64);
+            obs.rows_moved_total.add(stats.rows_moved as u64);
         }
         let mut t = Table::from_columns(query.table.clone(), out_cols)?;
         if let Some(limit) = query.limit {
@@ -613,5 +684,51 @@ mod tests {
         let res = fe.sparql("people", &pats).unwrap();
         assert_eq!(res.len(), 1);
         assert_eq!(res[0]["c"], Value::str("delft"));
+    }
+
+    #[test]
+    fn obs_times_each_backend_and_counts_fanout() {
+        use lake_core::retry::ManualClock;
+
+        let ps = setup();
+        let registry = MetricsRegistry::new();
+        let clock = Arc::new(ManualClock::new());
+        let fe = engine(&ps).with_obs(&registry, clock);
+        let q = parse_query("select customer, city, total from orders").unwrap();
+        let (t, stats) = fe.execute(&q, true).unwrap();
+        assert_eq!(t.num_rows(), 6);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("lake_query_execute_total"), 1);
+        assert_eq!(
+            snap.counter_value("lake_query_subqueries_total"),
+            stats.subqueries as u64
+        );
+        assert_eq!(
+            snap.counter_value("lake_query_rows_moved_total"),
+            stats.rows_moved as u64
+        );
+        // One timed fetch per backend kind.
+        for kind in ["relational", "document", "file"] {
+            let hist = snap
+                .histograms
+                .iter()
+                .find(|(id, _)| {
+                    id.name == "lake_query_source_seconds"
+                        && id.labels.iter().any(|(k, v)| k == "kind" && v == kind)
+                })
+                .map(|(_, h)| h)
+                .unwrap_or_else(|| panic!("missing source_seconds for {kind}"));
+            assert_eq!(hist.count, 1, "kind={kind}");
+        }
+
+        // A second query keeps accumulating in the same registry.
+        let (_, stats2) = fe.execute(&q, false).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("lake_query_execute_total"), 2);
+        assert_eq!(
+            snap.counter_value("lake_query_rows_moved_total"),
+            (stats.rows_moved + stats2.rows_moved) as u64
+        );
     }
 }

@@ -21,17 +21,21 @@
 //! * [`fault`] — a deterministic fault-injecting [`ObjectStore`]
 //!   decorator (transient errors, torn writes, scripted crash points)
 //!   backing the lakehouse chaos suite.
+//! * [`obs`] — an observing [`ObjectStore`] decorator recording per-op
+//!   counts, bytes, and latency histograms into a `lake-obs` registry.
 
 pub mod document;
 pub mod fault;
 pub mod graphstore;
 pub mod kv;
 pub mod object;
+pub mod obs;
 pub mod polystore;
 pub mod predicate;
 pub mod relational;
 
 pub use fault::{FaultPlan, FaultStats, FaultStore, Op};
+pub use obs::ObsStore;
 pub use object::{LocalDirStore, MemoryStore, ObjectStore};
 pub use polystore::{Polystore, StoreKind};
 pub use predicate::{CompareOp, Predicate};

@@ -7,6 +7,24 @@
 //! blob, and list keys under a prefix. Two backends are provided — an
 //! in-memory map and a local directory — behind one trait, so every higher
 //! layer is backend-agnostic.
+//!
+//! ## Decorator ordering
+//!
+//! Decorators ([`crate::fault::FaultStore`], [`crate::obs::ObsStore`])
+//! wrap a *per-writer handle* to a shared backend (`Arc<S>`), never the
+//! backend itself. The canonical stack is
+//! `ObsStore<FaultStore<Arc<S>>>` — **faults inside, observation
+//! outside** — which gives each layer exactly one vantage point:
+//!
+//! * the observer sees every attempt (including ones a fault eats
+//!   before they reach the backend), so error counters and retry
+//!   attempt counts line up with what the caller experienced;
+//! * a `LocalDirStore` or `Polystore` shared by several writers is
+//!   touched once per *surviving* call, so nothing is double-counted
+//!   when each writer wraps the same `Arc<S>` in its own stack;
+//! * reversing the order (`FaultStore<ObsStore<S>>`) would hide
+//!   injected faults from the metrics — the observer would record a
+//!   success for a call whose caller saw an error.
 
 use lake_core::{LakeError, Result};
 use parking_lot::RwLock;

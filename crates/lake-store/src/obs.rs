@@ -1,0 +1,295 @@
+//! An observing [`ObjectStore`] decorator.
+//!
+//! [`ObsStore`] mirrors [`FaultStore`](crate::fault::FaultStore): it
+//! wraps any store and records, per operation, a call counter, an error
+//! counter, and a latency histogram into a shared
+//! [`MetricsRegistry`], plus byte counters for the data moved by
+//! `put`/`put_if_absent`/`get`. Latency is timed by the injectable
+//! [`Clock`], so tests under `ManualClock` see exact, scripted
+//! durations.
+//!
+//! Metric names follow the workspace convention:
+//! `lake_store_<op>_total`, `lake_store_<op>_errors_total`,
+//! `lake_store_<op>_seconds` (histogram, microsecond resolution), and
+//! `lake_store_{put,get}_bytes_total`.
+//!
+//! ## Decorator ordering
+//!
+//! Compose **faults inside, observation outside** —
+//! `ObsStore<FaultStore<S>>` — so injected faults show up in the error
+//! counters exactly as real storage faults would, and every retry
+//! attempt is observed as its own call. See the ordering note on
+//! [`crate::object::ObjectStore`] for why the shared backend is wrapped
+//! once per writer via `Arc<S>`.
+
+use crate::fault::Op;
+use crate::object::ObjectStore;
+use lake_core::retry::{Clock, SystemClock};
+use lake_core::Result;
+use lake_obs::{Counter, Histogram, MetricsRegistry, MICROS_TO_SECONDS};
+use std::sync::Arc;
+
+/// Pre-registered handles for one operation: updates are lock-free.
+struct OpMetrics {
+    total: Arc<Counter>,
+    errors: Arc<Counter>,
+    seconds: Arc<Histogram>,
+}
+
+impl OpMetrics {
+    fn register(registry: &MetricsRegistry, op: Op) -> OpMetrics {
+        let name = op.name();
+        OpMetrics {
+            total: registry.counter(&format!("lake_store_{name}_total")),
+            errors: registry.counter(&format!("lake_store_{name}_errors_total")),
+            seconds: registry
+                .histogram(&format!("lake_store_{name}_seconds"), MICROS_TO_SECONDS),
+        }
+    }
+}
+
+/// An [`ObjectStore`] decorator that meters every call.
+///
+/// Wrap the outermost layer of a store stack (observation outside,
+/// faults inside) and share one [`MetricsRegistry`] across writers so
+/// per-op series aggregate lake-wide.
+pub struct ObsStore<S: ObjectStore> {
+    inner: S,
+    clock: Arc<dyn Clock>,
+    put: OpMetrics,
+    put_if_absent: OpMetrics,
+    get: OpMetrics,
+    delete: OpMetrics,
+    list: OpMetrics,
+    exists: OpMetrics,
+    size: OpMetrics,
+    put_bytes: Arc<Counter>,
+    get_bytes: Arc<Counter>,
+}
+
+impl<S: ObjectStore> ObsStore<S> {
+    /// Wrap `inner`, metering into `registry`, timed by the real clock.
+    pub fn new(inner: S, registry: &MetricsRegistry) -> ObsStore<S> {
+        ObsStore::with_clock(inner, registry, Arc::new(SystemClock))
+    }
+
+    /// Wrap `inner` with an explicit clock (use `ManualClock` in tests
+    /// for deterministic latency histograms).
+    pub fn with_clock(
+        inner: S,
+        registry: &MetricsRegistry,
+        clock: Arc<dyn Clock>,
+    ) -> ObsStore<S> {
+        ObsStore {
+            inner,
+            clock,
+            put: OpMetrics::register(registry, Op::Put),
+            put_if_absent: OpMetrics::register(registry, Op::PutIfAbsent),
+            get: OpMetrics::register(registry, Op::Get),
+            delete: OpMetrics::register(registry, Op::Delete),
+            list: OpMetrics::register(registry, Op::List),
+            exists: OpMetrics::register(registry, Op::Exists),
+            size: OpMetrics::register(registry, Op::Size),
+            put_bytes: registry.counter("lake_store_put_bytes_total"),
+            get_bytes: registry.counter("lake_store_get_bytes_total"),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Meter a fallible call: one count, one latency sample, and an
+    /// error count when it fails.
+    fn timed<T>(&self, m: &OpMetrics, run: impl FnOnce() -> Result<T>) -> Result<T> {
+        let start = self.clock.now_micros();
+        let out = run();
+        m.seconds.observe(self.clock.now_micros().saturating_sub(start));
+        m.total.inc();
+        if out.is_err() {
+            m.errors.inc();
+        }
+        out
+    }
+
+    /// Meter an infallible call (`exists`/`list`).
+    fn timed_ok<T>(&self, m: &OpMetrics, run: impl FnOnce() -> T) -> T {
+        let start = self.clock.now_micros();
+        let out = run();
+        m.seconds.observe(self.clock.now_micros().saturating_sub(start));
+        m.total.inc();
+        out
+    }
+}
+
+/// Pure pass-through: `put_if_absent` atomicity is the inner store's —
+/// the decorator forwards the single conditional call unchanged (it
+/// only measures around it), so the atomic one-winner guarantee is
+/// never weakened.
+impl<S: ObjectStore> ObjectStore for ObsStore<S> {
+    fn put(&self, key: &str, data: &[u8]) -> Result<()> {
+        let r = self.timed(&self.put, || self.inner.put(key, data));
+        if r.is_ok() {
+            self.put_bytes.add(data.len() as u64);
+        }
+        r
+    }
+
+    fn put_if_absent(&self, key: &str, data: &[u8]) -> Result<()> {
+        let r = self.timed(&self.put_if_absent, || self.inner.put_if_absent(key, data));
+        if r.is_ok() {
+            self.put_bytes.add(data.len() as u64);
+        }
+        r
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        let r = self.timed(&self.get, || self.inner.get(key));
+        if let Ok(bytes) = &r {
+            self.get_bytes.add(bytes.len() as u64);
+        }
+        r
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.timed_ok(&self.exists, || self.inner.exists(key))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.timed(&self.delete, || self.inner.delete(key))
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.timed_ok(&self.list, || self.inner.list(prefix))
+    }
+
+    fn size(&self, key: &str) -> Result<usize> {
+        self.timed(&self.size, || self.inner.size(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultStore};
+    use crate::object::MemoryStore;
+    use lake_core::retry::ManualClock;
+
+    #[test]
+    fn counts_bytes_and_latency_per_op() {
+        let clock = Arc::new(ManualClock::new());
+        let reg = MetricsRegistry::new();
+        let store = ObsStore::with_clock(MemoryStore::new(), &reg, clock.clone());
+        store.put("k", b"12345").unwrap();
+        assert_eq!(store.get("k").unwrap(), b"12345");
+        assert!(store.exists("k"));
+        assert_eq!(store.list(""), vec!["k".to_string()]);
+        assert_eq!(store.size("k").unwrap(), 5);
+        store.delete("k").unwrap();
+        let snap = reg.snapshot();
+        for op in ["put", "get", "exists", "list", "size", "delete"] {
+            assert_eq!(snap.counter_value(&format!("lake_store_{op}_total")), 1, "{op}");
+            assert_eq!(snap.counter_value(&format!("lake_store_{op}_errors_total")), 0);
+            assert_eq!(
+                snap.histogram(&format!("lake_store_{op}_seconds")).map(|h| h.count),
+                Some(1),
+                "{op} latency sampled"
+            );
+        }
+        assert_eq!(snap.counter_value("lake_store_put_bytes_total"), 5);
+        assert_eq!(snap.counter_value("lake_store_get_bytes_total"), 5);
+    }
+
+    #[test]
+    fn manual_clock_gives_exact_latency_histograms() {
+        let clock = Arc::new(ManualClock::new());
+        let reg = MetricsRegistry::new();
+        // A store whose inner get "takes" 100 µs of virtual time.
+        struct Slow {
+            inner: MemoryStore,
+            clock: Arc<ManualClock>,
+        }
+        impl ObjectStore for Slow {
+            fn put(&self, key: &str, data: &[u8]) -> Result<()> {
+                self.inner.put(key, data)
+            }
+            /// Atomicity: delegates the single conditional call to
+            /// [`MemoryStore`], whose lock makes it atomic.
+            fn put_if_absent(&self, key: &str, data: &[u8]) -> Result<()> {
+                self.inner.put_if_absent(key, data)
+            }
+            fn get(&self, key: &str) -> Result<Vec<u8>> {
+                self.clock.advance_micros(100);
+                self.inner.get(key)
+            }
+            fn exists(&self, key: &str) -> bool {
+                self.inner.exists(key)
+            }
+            fn delete(&self, key: &str) -> Result<()> {
+                self.inner.delete(key)
+            }
+            fn list(&self, prefix: &str) -> Vec<String> {
+                self.inner.list(prefix)
+            }
+            fn size(&self, key: &str) -> Result<usize> {
+                self.inner.size(key)
+            }
+        }
+        let store = ObsStore::with_clock(
+            Slow { inner: MemoryStore::new(), clock: clock.clone() },
+            &reg,
+            clock,
+        );
+        store.put("k", b"v").unwrap();
+        let _ = store.get("k");
+        let snap = reg.snapshot();
+        let hist = snap.histogram("lake_store_get_seconds").cloned().unwrap_or_default();
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.sum, 100, "exactly the scripted 100 µs");
+        // 100 µs lands in the le=128 µs bucket.
+        assert_eq!(hist.quantile(0.5), 128.0 * MICROS_TO_SECONDS);
+    }
+
+    #[test]
+    fn observation_outside_faults_sees_injected_errors() {
+        let reg = MetricsRegistry::new();
+        let clock = Arc::new(ManualClock::new());
+        let faulty = FaultStore::new(MemoryStore::new(), FaultPlan::new().fail_next(Op::Put, 2));
+        let store = ObsStore::with_clock(faulty, &reg, clock);
+        assert!(store.put("k", b"v").is_err());
+        assert!(store.put("k", b"v").is_err());
+        store.put("k", b"v").unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("lake_store_put_total"), 3, "every attempt observed");
+        assert_eq!(snap.counter_value("lake_store_put_errors_total"), 2);
+        assert_eq!(snap.counter_value("lake_store_put_bytes_total"), 1, "only the success moves bytes");
+        assert_eq!(store.inner().stats().transients_injected, 2);
+    }
+
+    #[test]
+    fn shared_backend_with_per_writer_decorators_never_double_counts() {
+        // Two writers, each with its own ObsStore<FaultStore<Arc<S>>>
+        // stack over ONE shared backend: per-writer registries see only
+        // their own traffic, and a shared registry sums exactly once per
+        // real call (the backend itself is undecorated, so nothing is
+        // counted twice).
+        let shared = Arc::new(MemoryStore::new());
+        let reg = MetricsRegistry::new();
+        let clock = Arc::new(ManualClock::new());
+        let a = ObsStore::with_clock(
+            FaultStore::transparent(Arc::clone(&shared)),
+            &reg,
+            clock.clone(),
+        );
+        let b = ObsStore::with_clock(FaultStore::transparent(Arc::clone(&shared)), &reg, clock);
+        a.put("a", b"1").unwrap();
+        b.put("b", b"22").unwrap();
+        let _ = a.get("b"); // data shared via the backend
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("lake_store_put_total"), 2);
+        assert_eq!(snap.counter_value("lake_store_put_bytes_total"), 3);
+        assert_eq!(snap.counter_value("lake_store_get_total"), 1);
+        assert_eq!(shared.list("").len(), 2);
+    }
+}

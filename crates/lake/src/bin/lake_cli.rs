@@ -36,6 +36,8 @@ enum Command {
     Query(String),
     /// `promote <id>` — quality-gated zone promotion.
     Promote(u64),
+    /// `obs [json]` — dump the lake's metrics registry.
+    Obs { json: bool },
     /// `help`
     Help,
     /// `quit` / `exit`
@@ -71,6 +73,11 @@ fn parse_command(line: &str) -> Result<Command, String> {
             }
         }
         "promote" => Ok(Command::Promote(need_id()?)),
+        "obs" => match rest {
+            "" | "report" => Ok(Command::Obs { json: false }),
+            "json" => Ok(Command::Obs { json: true }),
+            _ => Err("usage: obs [json]".to_string()),
+        },
         "help" | "?" => Ok(Command::Help),
         "quit" | "exit" => Ok(Command::Quit),
         "" => Err(String::new()),
@@ -87,6 +94,7 @@ commands:
   discover <table>     tables related to <table> (Aurum EKG)
   query <sql>          federated query, e.g. select a, b from t where a > 3
   promote <id>         promote a dataset to its next zone (quality-gated)
+  obs [json]           dump session metrics (Prometheus text, or JSON)
   help                 this text
   quit                 leave";
 
@@ -173,6 +181,17 @@ fn run_command(dl: &mut DataLake, cmd: Command) -> Result<String, String> {
             let z = dl.promote_checked("cli", id).map_err(e)?;
             Ok(format!("{id} → {}", z.name()))
         }
+        Command::Obs { json } => {
+            let snap = dl.metrics.snapshot();
+            if snap.is_empty() {
+                return Ok("no metrics recorded yet".into());
+            }
+            if json {
+                Ok(lake_obs::export::json_text(&snap))
+            } else {
+                Ok(lake_obs::export::prometheus_text(&snap).trim_end().to_string())
+            }
+        }
         Command::Help => Ok(HELP.to_string()),
         Command::Quit => Err("__quit".into()),
     }
@@ -242,6 +261,10 @@ mod tests {
             Ok(Command::Query("select a from t".into()))
         );
         assert_eq!(parse_command("promote 2"), Ok(Command::Promote(2)));
+        assert_eq!(parse_command("obs"), Ok(Command::Obs { json: false }));
+        assert_eq!(parse_command("obs report"), Ok(Command::Obs { json: false }));
+        assert_eq!(parse_command("obs json"), Ok(Command::Obs { json: true }));
+        assert!(parse_command("obs xml").is_err());
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
         assert!(parse_command("meta x").is_err());
         assert!(parse_command("bogus").is_err());
@@ -274,6 +297,11 @@ mod tests {
         assert!(q.contains("paris"));
         let p = run_command(&mut dl, Command::Promote(0)).unwrap();
         assert!(p.contains("raw"));
+        let obs = run_command(&mut dl, Command::Obs { json: false }).unwrap();
+        assert!(obs.contains("lake_lake_ingest_files_total 1"));
+        assert!(obs.contains("lake_query_execute_total"));
+        let obs_json = run_command(&mut dl, Command::Obs { json: true }).unwrap();
+        assert!(obs_json.contains("\"lake_lake_ingest_files_total\""));
         assert!(run_command(&mut dl, Command::Meta(9)).is_err());
         assert_eq!(run_command(&mut dl, Command::Quit), Err("__quit".into()));
     }

@@ -31,13 +31,16 @@ use lake_discovery::corpus::TableCorpus;
 use lake_ingest::gemms::Gemms;
 use lake_ingest::model::generic::GenericMetamodel;
 use lake_ingest::model::graphmeta::EvolutionMetadata;
+use lake_core::retry::SystemClock;
 use lake_maintain::provenance::{ProvEvent, ProvenanceGraph};
+use lake_obs::MetricsRegistry;
 use lake_organize::goods::GoodsCatalog;
 use lake_query::federated::{FederatedEngine, SourceBinding};
 use lake_query::fulltext::{FullTextIndex, Hit};
 use lake_store::{Polystore, StoreKind};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use users::{AccessControl, Operation};
 use zones::{OrganizationPolicy, Pond, Zone};
 
@@ -57,6 +60,9 @@ pub struct DataLake {
     pub policy: OrganizationPolicy,
     /// Evolution-oriented metadata: versions, links, forms, usage.
     pub evolution: EvolutionMetadata,
+    /// Observability registry; every instrumented tier records here
+    /// (`lake obs` in the CLI dumps it).
+    pub metrics: Arc<MetricsRegistry>,
     fulltext: FullTextIndex,
     ids: IdGen,
     tick: AtomicU64,
@@ -88,6 +94,7 @@ impl DataLake {
             catalog: GoodsCatalog::new(),
             policy,
             evolution: EvolutionMetadata::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
             fulltext: FullTextIndex::new(),
             ids: IdGen::new(),
             tick: AtomicU64::new(0),
@@ -183,6 +190,10 @@ impl DataLake {
             inputs: vec![file_name.to_string()],
             outputs: vec![name],
         });
+        self.metrics.counter("lake_lake_ingest_files_total").inc();
+        self.metrics
+            .counter("lake_lake_ingest_records_total")
+            .add(md.dataset.record_count() as u64);
         Ok(id)
     }
 
@@ -257,7 +268,7 @@ impl DataLake {
 
     /// A federated engine with every relational table registered as its
     /// own mediated table (identity mappings); callers add richer
-    /// mediations on top.
+    /// mediations on top. Executions record into [`DataLake::metrics`].
     pub fn federated(&self) -> FederatedEngine<'_> {
         let mut fe = FederatedEngine::new(&self.store);
         for name in self.store.relational.table_names() {
@@ -273,7 +284,7 @@ impl DataLake {
                 );
             }
         }
-        fe
+        fe.with_obs(&self.metrics, Arc::new(SystemClock))
     }
 
     /// The browse card for a dataset (Constance's incremental exploration,
@@ -488,6 +499,25 @@ mod tests {
         assert!(!dl.evolution.forms_of(v2).is_empty());
         // Names stay distinct in storage.
         assert_ne!(dl.meta(v1).unwrap().name, dl.meta(v2).unwrap().name);
+    }
+
+    #[test]
+    fn registry_observes_ingest_and_query() {
+        let mut dl = lake_with_ops();
+        dl.ingest_file("omar", "orders.csv", b"cust,total\nc1,10\nc2,90\n").unwrap();
+        let fe = dl.federated();
+        let q = lake_query::parse_query("select cust from orders").unwrap();
+        fe.execute(&q, true).unwrap();
+        drop(fe);
+        let snap = dl.metrics.snapshot();
+        assert_eq!(snap.counter_value("lake_lake_ingest_files_total"), 1);
+        assert_eq!(snap.counter_value("lake_lake_ingest_records_total"), 2);
+        assert_eq!(snap.counter_value("lake_query_execute_total"), 1);
+        assert_eq!(snap.counter_value("lake_query_rows_moved_total"), 2);
+        // The Prometheus dump the CLI `obs` command prints is non-empty.
+        let text = lake_obs::export::prometheus_text(&snap);
+        assert!(text.contains("lake_lake_ingest_files_total 1"));
+        assert!(text.contains("lake_query_source_seconds_bucket"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification chain for the rustlake workspace:
-# build, test, the repo-native static-analysis gate, then the
-# fault-injection chaos gate.
+# build, test, the repo-native static-analysis gate, the
+# fault-injection chaos gate, then the observability smoke gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,3 +10,4 @@ cargo build --release
 cargo test -q
 cargo run -p lake-lint -- check
 ./scripts/chaos.sh
+./scripts/obs.sh

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Observability gate: run the instrumented demo workload (obs_report)
+# and assert the lake-obs pipeline actually recorded it — non-zero
+# store-op / lakehouse-commit / retry counters in the Prometheus dump,
+# and a JSON dump that carries the same commit count. Then the exporter
+# golden-file and decorator unit suites the report is built on.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+report=$(cargo run -q -p lake --bin obs_report)
+
+require_nonzero() {
+  local metric="$1"
+  local line
+  line=$(grep -E "^${metric}(\{[^}]*\})? [0-9]" <<<"$report" | head -1) || {
+    echo "obs.sh: metric ${metric} missing from obs_report output" >&2
+    exit 1
+  }
+  local value="${line##* }"
+  if [ "$value" = "0" ]; then
+    echo "obs.sh: metric ${metric} is zero after the demo workload" >&2
+    exit 1
+  fi
+  echo "  ${line}"
+}
+
+echo "obs.sh: checking demo-workload counters"
+require_nonzero lake_store_put_total
+require_nonzero lake_store_get_total
+require_nonzero lake_store_put_bytes_total
+require_nonzero lake_house_commit_total
+require_nonzero lake_house_retry_retries_total
+require_nonzero lake_ingest_rows_total
+require_nonzero lake_query_execute_total
+
+# Latency histograms must have observations, not just registrations.
+grep -qE '^lake_store_put_seconds_count(\{[^}]*\})? [1-9]' <<<"$report" || {
+  echo "obs.sh: lake_store_put_seconds histogram recorded nothing" >&2
+  exit 1
+}
+
+# The JSON exporter must agree with the Prometheus one on commit count.
+cargo run -q -p lake --bin obs_report -- --json \
+  | grep -q '"lake_house_commit_total"' || {
+  echo "obs.sh: JSON dump lacks lake_house_commit_total" >&2
+  exit 1
+}
+
+cargo test -q -p lake-obs
+cargo test -q -p lake-store obs::
+echo "obs.sh: ok"

@@ -71,9 +71,10 @@ impl ManualClock {
         self.slept.lock().map(|s| s.clone()).unwrap_or_default()
     }
 
-    /// Total backoff requested so far, in milliseconds.
+    /// Total backoff requested so far, in milliseconds (saturating, like
+    /// the [`RetryStats::backoff_ms`] accumulator).
     pub fn total_ms(&self) -> u64 {
-        self.sleeps().iter().sum()
+        self.sleeps().iter().fold(0u64, |a, &b| a.saturating_add(b))
     }
 
     /// Advance virtual time by `us` microseconds without recording a
@@ -151,20 +152,27 @@ impl RetryPolicy {
         self
     }
 
+    /// The pre-jitter backoff after failed attempt `attempt` (1-based):
+    /// `min(base << (attempt-1), max)`. Widened to `u128` because a plain
+    /// `u64` shift discards high bits (`checked_shl` only rejects shift
+    /// counts ≥ 64), which would silently wrap a large base *below* the
+    /// documented `[base, max]` floor.
+    fn pre_jitter_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        let exp = (u128::from(self.base_delay_ms) << shift).min(u128::from(self.max_delay_ms));
+        // exp ≤ max_delay_ms, so the narrowing cannot truncate.
+        exp as u64
+    }
+
     /// The backoff after failed attempt `attempt` (1-based), drawing
     /// jitter from `rng`.
     fn backoff_ms(&self, attempt: u32, rng: &mut StdRng) -> u64 {
-        let shift = attempt.saturating_sub(1).min(32);
-        let exp = self
-            .base_delay_ms
-            .checked_shl(shift)
-            .unwrap_or(self.max_delay_ms)
-            .min(self.max_delay_ms);
+        let exp = self.pre_jitter_ms(attempt);
         let jitter_span = exp / 2;
         if jitter_span == 0 {
             exp
         } else {
-            exp + rng.random_range(0..=jitter_span)
+            exp.saturating_add(rng.random_range(0..=jitter_span))
         }
     }
 }
@@ -191,7 +199,7 @@ impl RetryStats {
         self.attempts += other.attempts;
         self.retries += other.retries;
         self.gave_up += other.gave_up;
-        self.backoff_ms += other.backoff_ms;
+        self.backoff_ms = self.backoff_ms.saturating_add(other.backoff_ms);
     }
 }
 
@@ -226,7 +234,7 @@ pub fn retry_with_stats<T>(
             Err(e) if e.is_retryable() && attempt < budget => {
                 stats.retries += 1;
                 let wait = policy.backoff_ms(attempt, &mut rng);
-                stats.backoff_ms += wait;
+                stats.backoff_ms = stats.backoff_ms.saturating_add(wait);
                 clock.sleep_ms(wait);
             }
             Err(e) => {
@@ -326,6 +334,22 @@ mod tests {
             clock.sleeps()
         };
         assert_ne!(a, other);
+    }
+
+    #[test]
+    fn huge_base_delay_never_dips_below_the_floor() {
+        // Regression: `u64::checked_shl` keeps shifting bits out for any
+        // shift < 64, so a large base used to wrap below `base` (even to
+        // zero) instead of clamping to the cap.
+        let policy = RetryPolicy::new(9)
+            .with_base_delay_ms(u64::MAX / 2)
+            .with_max_delay_ms(1_000)
+            .with_jitter_seed(3);
+        let mut rng = StdRng::seed_from_u64(policy.jitter_seed);
+        for attempt in 1..=8 {
+            let ms = policy.backoff_ms(attempt, &mut rng);
+            assert!((1_000..=1_500).contains(&ms), "attempt {attempt}: {ms}");
+        }
     }
 
     #[test]

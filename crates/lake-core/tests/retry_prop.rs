@@ -1,0 +1,116 @@
+//! Property tests for the retry combinator's documented contract: every
+//! backoff stays within `[pre_jitter, pre_jitter * 3/2]` where
+//! `pre_jitter = min(base << k, max)`, the pre-jitter schedule is
+//! monotonically non-decreasing, and [`RetryStats`] counts exactly what
+//! the closure observed — for *any* policy shape and seed, including the
+//! degenerate huge-base ones that used to wrap the shift.
+
+use lake_core::retry::{retry_with_stats, ManualClock, RetryPolicy, RetryStats};
+use lake_core::LakeError;
+use proptest::prelude::*;
+
+/// Independent oracle for the documented pre-jitter backoff.
+fn pre_jitter(base: u64, max: u64, attempt: u32) -> u64 {
+    let shift = attempt.saturating_sub(1).min(32);
+    ((u128::from(base) << shift).min(u128::from(max))) as u64
+}
+
+/// A closure failing transiently `failures` times, counting invocations.
+fn flaky(failures: u32, invocations: &mut u64) -> impl FnMut() -> lake_core::Result<()> + '_ {
+    let mut left = failures;
+    move || {
+        *invocations += 1;
+        if left > 0 {
+            left -= 1;
+            Err(LakeError::transient("injected"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    // Jittered delays stay within `[floor, floor + floor/2]` and the
+    // floors are non-decreasing — for any base/cap/seed, including bases
+    // large enough that a plain `u64` shift would wrap.
+    #[test]
+    fn backoff_delays_stay_within_documented_bounds(
+        base in any::<u64>(),
+        max in any::<u64>(),
+        seed in any::<u64>(),
+        failures in 1u32..12,
+    ) {
+        let policy = RetryPolicy::new(failures + 1)
+            .with_base_delay_ms(base)
+            .with_max_delay_ms(max)
+            .with_jitter_seed(seed);
+        let clock = ManualClock::new();
+        let mut invocations = 0u64;
+        let r = retry_with_stats(
+            &policy, &clock, &mut RetryStats::default(), flaky(failures, &mut invocations),
+        );
+        prop_assert!(r.is_ok());
+        let sleeps = clock.sleeps();
+        prop_assert_eq!(sleeps.len() as u32, failures);
+        let mut prev_floor = 0u64;
+        for (i, ms) in sleeps.iter().enumerate() {
+            let floor = pre_jitter(base, max, i as u32 + 1);
+            prop_assert!(
+                floor >= prev_floor,
+                "pre-jitter schedule regressed at retry {}: {} < {}", i, floor, prev_floor,
+            );
+            prev_floor = floor;
+            let ceil = floor.saturating_add(floor / 2);
+            prop_assert!(
+                (floor..=ceil).contains(ms),
+                "sleep {} = {} outside [{}, {}]", i, ms, floor, ceil,
+            );
+        }
+    }
+
+    // `RetryStats` tells the truth: `attempts` equals observed closure
+    // invocations, `retries` and the recorded backoff schedule follow.
+    #[test]
+    fn stats_attempts_match_closure_invocations(
+        failures in 0u32..16,
+        budget in 1u32..12,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy::new(budget).with_jitter_seed(seed);
+        let clock = ManualClock::new();
+        let mut stats = RetryStats::default();
+        let mut invocations = 0u64;
+        let r = retry_with_stats(&policy, &clock, &mut stats, flaky(failures, &mut invocations));
+        prop_assert_eq!(stats.attempts, invocations);
+        prop_assert_eq!(stats.operations, 1);
+        // Every attempt past the first is a retry.
+        prop_assert_eq!(stats.retries, invocations - 1);
+        prop_assert_eq!(clock.sleeps().len() as u64, invocations - 1);
+        prop_assert_eq!(stats.backoff_ms, clock.total_ms());
+        prop_assert_eq!(r.is_err(), failures >= budget);
+        prop_assert_eq!(stats.gave_up, u64::from(failures >= budget));
+    }
+
+    // The whole schedule replays byte-for-byte for a fixed seed.
+    #[test]
+    fn schedule_replays_per_seed(
+        base in 1u64..1_000,
+        max in 1u64..100_000,
+        seed in any::<u64>(),
+        failures in 1u32..10,
+    ) {
+        let policy = RetryPolicy::new(failures + 1)
+            .with_base_delay_ms(base)
+            .with_max_delay_ms(max)
+            .with_jitter_seed(seed);
+        let run = || {
+            let clock = ManualClock::new();
+            let mut invocations = 0u64;
+            let _ = retry_with_stats(
+                &policy, &clock, &mut RetryStats::default(), flaky(failures, &mut invocations),
+            );
+            clock.sleeps()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

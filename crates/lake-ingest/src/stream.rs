@@ -32,6 +32,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 struct IngestMetrics {
     rows_total: Arc<Counter>,
+    rows_quarantined_total: Arc<Counter>,
     schema_drift_total: Arc<Counter>,
     flush_total: Arc<Counter>,
     flush_rows_total: Arc<Counter>,
@@ -42,12 +43,25 @@ impl IngestMetrics {
     fn register(registry: &MetricsRegistry) -> IngestMetrics {
         IngestMetrics {
             rows_total: registry.counter("lake_ingest_rows_total"),
+            rows_quarantined_total: registry.counter("lake_ingest_rows_quarantined_total"),
             schema_drift_total: registry.counter("lake_ingest_schema_drift_total"),
             flush_total: registry.counter("lake_ingest_flush_total"),
             flush_rows_total: registry.counter("lake_ingest_flush_rows_total"),
             flush_seconds: registry.histogram("lake_ingest_flush_seconds", MICROS_TO_SECONDS),
         }
     }
+}
+
+/// A record the ingestor refused, parked for later inspection instead of
+/// failing the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter {
+    /// 1-based position in the offered stream (valid + quarantined).
+    pub record_no: u64,
+    /// The offending record, untouched.
+    pub row: Row,
+    /// Why it was quarantined.
+    pub reason: String,
 }
 
 /// A bounded-memory ingestor for one record stream.
@@ -64,8 +78,17 @@ pub struct StreamIngestor {
     hasher: MinHasher,
     signatures: Vec<MinHash>,
     retry: RetryStats,
+    dead_letters: Vec<DeadLetter>,
+    dead_letter_capacity: usize,
+    quarantined: u64,
     obs: Option<IngestMetrics>,
 }
+
+/// How many dead letters an ingestor retains by default. The *count* of
+/// quarantined rows is unbounded ([`StreamIngestor::quarantined`]); only
+/// the retained evidence is capped, keeping the ingestor O(capacity) even
+/// when a producer goes permanently bad.
+pub const DEFAULT_DEAD_LETTER_CAPACITY: usize = 64;
 
 impl StreamIngestor {
     /// Create an ingestor for records with the given columns, keeping a
@@ -90,8 +113,20 @@ impl StreamIngestor {
             hasher: hasher.clone(),
             signatures: columns.iter().map(|_| hasher.signature([])).collect(),
             retry: RetryStats::default(),
+            dead_letters: Vec::new(),
+            dead_letter_capacity: DEFAULT_DEAD_LETTER_CAPACITY,
+            quarantined: 0,
             obs: None,
         })
+    }
+
+    /// Retain at most `capacity` quarantined records as evidence (the
+    /// quarantine *counter* keeps running past it). Zero keeps counting
+    /// but retains nothing.
+    pub fn with_dead_letter_capacity(mut self, capacity: usize) -> StreamIngestor {
+        self.dead_letter_capacity = capacity;
+        self.dead_letters.truncate(capacity);
+        self
     }
 
     /// Record rows, schema drift, and flushes into a `lake-obs` registry
@@ -102,14 +137,16 @@ impl StreamIngestor {
         self
     }
 
-    /// Ingest one record (must match the column arity).
+    /// Ingest one record. A malformed record (wrong arity) does not fail
+    /// the stream: it is quarantined into the bounded dead-letter buffer
+    /// ([`StreamIngestor::dead_letters`]) and the well-formed tail keeps
+    /// flowing — one bad producer must not stall ingestion.
     pub fn push(&mut self, row: Row) -> lake_core::Result<()> {
         if row.len() != self.columns.len() {
-            return Err(lake_core::LakeError::schema(format!(
-                "record arity {} != {}",
-                row.len(),
-                self.columns.len()
-            )));
+            let reason =
+                format!("record arity {} != {}", row.len(), self.columns.len());
+            self.quarantine(row, reason);
+            return Ok(());
         }
         self.seen += 1;
         if let Some(obs) = &self.obs {
@@ -155,9 +192,35 @@ impl StreamIngestor {
         Ok(())
     }
 
+    fn quarantine(&mut self, row: Row, reason: String) {
+        self.quarantined += 1;
+        if let Some(obs) = &self.obs {
+            obs.rows_quarantined_total.inc();
+        }
+        if self.dead_letters.len() < self.dead_letter_capacity {
+            self.dead_letters.push(DeadLetter {
+                record_no: self.seen + self.quarantined,
+                row,
+                reason,
+            });
+        }
+    }
+
     /// Records seen so far.
     pub fn seen(&self) -> u64 {
         self.seen
+    }
+
+    /// Total records quarantined so far (including any the bounded buffer
+    /// no longer retains).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// The retained quarantined records, oldest first (at most the
+    /// dead-letter capacity).
+    pub fn dead_letters(&self) -> &[DeadLetter] {
+        &self.dead_letters
     }
 
     /// The current unified schema.
@@ -372,10 +435,39 @@ mod tests {
     }
 
     #[test]
-    fn arity_mismatch_rejected() {
+    fn arity_mismatch_is_quarantined_not_fatal() {
         let mut ing = StreamIngestor::new(&["a", "b"], 10, 1).unwrap();
-        assert!(ing.push(vec![Value::Int(1)]).is_err());
-        assert_eq!(ing.seen(), 0);
+        ing.push(vec![Value::Int(1)]).unwrap(); // short: quarantined
+        ing.push(vec![Value::Int(1), Value::Int(2)]).unwrap();
+        ing.push(vec![Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap(); // long
+        assert_eq!(ing.seen(), 1, "only the well-formed record counts");
+        assert_eq!(ing.quarantined(), 2);
+        let dead = ing.dead_letters();
+        assert_eq!(dead.len(), 2);
+        assert_eq!(dead[0].record_no, 1);
+        assert_eq!(dead[0].row, vec![Value::Int(1)]);
+        assert!(dead[0].reason.contains("arity 1 != 2"), "{}", dead[0].reason);
+        assert_eq!(dead[1].record_no, 3);
+        // The sample only ever holds well-formed rows.
+        assert_eq!(ing.sample_table("s").unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn dead_letter_buffer_is_bounded_but_count_is_not() {
+        let reg = MetricsRegistry::new();
+        let mut ing = StreamIngestor::new(&["a", "b"], 10, 1)
+            .unwrap()
+            .with_obs(&reg)
+            .with_dead_letter_capacity(3);
+        for i in 0..10i64 {
+            ing.push(vec![Value::Int(i)]).unwrap();
+        }
+        assert_eq!(ing.dead_letters().len(), 3, "evidence buffer stays bounded");
+        assert_eq!(ing.quarantined(), 10, "the counter keeps running");
+        assert_eq!(reg.snapshot().counter_value("lake_ingest_rows_quarantined_total"), 10);
+        // Retained evidence is the oldest (first failures are usually the
+        // interesting ones for debugging a producer).
+        assert_eq!(ing.dead_letters()[0].record_no, 1);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Clock-discipline lint: library code must not read wall/monotonic time
+//! directly.
+//!
+//! Every timed code path in the workspace threads a
+//! `lake_core::retry::Clock` so that tests, chaos suites, and latency
+//! histograms replay deterministically under a `ManualClock`. A stray
+//! `std::time::Instant::now()` (or `SystemTime::now()`) re-introduces
+//! nondeterminism that no functional test will catch — the code works,
+//! it just stops being replayable — so the ban has to be structural.
+//!
+//! Flags `Instant::now` / `SystemTime::now` tokens in library sources,
+//! with two exemptions:
+//!
+//! * `impl … Clock for …` blocks — a `Clock` *implementation* is the one
+//!   place that legitimately touches the real clock (`SystemClock`);
+//! * `#[cfg(test)]` regions, like every other source lint (tests may
+//!   time themselves).
+//!
+//! Tests, benches, bins, and examples are exempt via the shared
+//! directory walk, same as the panic lint.
+
+use crate::errors::{matches_at, strip_comments_and_strings};
+use crate::{Finding, Rule};
+
+/// The banned time-source tokens.
+const BANNED: &[&str] = &["Instant::now", "SystemTime::now"];
+
+/// Scan one library source file for direct time reads outside `Clock`
+/// implementations.
+pub fn scan_source(file: &str, src: &str) -> Vec<Finding> {
+    let stripped = strip_comments_and_strings(src);
+    let chars: Vec<char> = stripped.chars().collect();
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut brace_depth = 0usize;
+    let mut cfg_test_depth: Option<usize> = None;
+    while i < chars.len() {
+        match chars[i] {
+            '\n' => {
+                line += 1;
+                i += 1;
+                continue;
+            }
+            '{' => {
+                brace_depth += 1;
+                i += 1;
+                continue;
+            }
+            '}' => {
+                brace_depth = brace_depth.saturating_sub(1);
+                if cfg_test_depth.is_some_and(|d| brace_depth < d) {
+                    cfg_test_depth = None;
+                }
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if matches_at(&chars, i, "#[cfg(test)") {
+            cfg_test_depth = Some(brace_depth);
+            i += 1;
+            continue;
+        }
+        // Skip whole `impl … Clock for …` blocks: Clock implementations
+        // are the designated owners of the real time source.
+        let at_impl = matches_at(&chars, i, "impl")
+            && (i == 0 || chars.get(i - 1).map_or(true, |c| !c.is_alphanumeric() && *c != '_'))
+            && chars.get(i + 4).is_some_and(|c| !c.is_alphanumeric() && *c != '_');
+        if at_impl {
+            let mut j = i;
+            let mut header = String::new();
+            while j < chars.len() && chars[j] != '{' && chars[j] != ';' {
+                header.push(chars[j]);
+                j += 1;
+            }
+            if chars.get(j) == Some(&'{') && header.contains("Clock for") {
+                // Walk past the whole impl block.
+                let mut depth = 0usize;
+                let mut k = j;
+                while k < chars.len() {
+                    match chars.get(k) {
+                        Some('\n') => line += 1,
+                        Some('{') => depth += 1,
+                        Some('}') => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                line += header.matches('\n').count();
+                i = k;
+                continue;
+            }
+            line += header.matches('\n').count();
+            i = j;
+            continue;
+        }
+        let mut matched = None;
+        if cfg_test_depth.is_none()
+            && (i == 0 || chars.get(i - 1).map_or(true, |c| !c.is_alphanumeric() && *c != '_'))
+        {
+            matched = BANNED.iter().find(|needle| matches_at(&chars, i, needle));
+        }
+        if let Some(needle) = matched {
+            findings.push(Finding {
+                rule: Rule::ClockDiscipline,
+                file: file.to_string(),
+                line,
+                message: format!(
+                    "{needle} read outside a Clock implementation; thread a \
+                     lake_core::retry::Clock so the path replays under ManualClock"
+                ),
+            });
+            i += needle.chars().count();
+        } else {
+            i += 1;
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_time_reads_are_flagged() {
+        let src = r#"
+pub fn timed() -> u64 {
+    let t0 = std::time::Instant::now();
+    let _wall = std::time::SystemTime::now();
+    t0.elapsed().as_micros() as u64
+}
+"#;
+        let f = scan_source("f.rs", src);
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f.iter().all(|x| x.rule == Rule::ClockDiscipline));
+        assert_eq!((f[0].line, f[1].line), (3, 4));
+        assert!(f[0].message.contains("Instant::now"), "{}", f[0].message);
+        assert!(f[1].message.contains("SystemTime::now"), "{}", f[1].message);
+    }
+
+    #[test]
+    fn clock_impls_are_the_designated_owners() {
+        let src = r#"
+impl Clock for SystemClock {
+    fn now_micros(&self) -> u64 {
+        let start = START.get_or_init(std::time::Instant::now);
+        u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+impl retry::Clock for OtherClock {
+    fn now_micros(&self) -> u64 { Instant::now().elapsed().as_micros() as u64 }
+}
+"#;
+        assert!(scan_source("f.rs", src).is_empty(), "{:#?}", scan_source("f.rs", src));
+    }
+
+    #[test]
+    fn non_clock_impls_are_still_scanned() {
+        let src = r#"
+impl Profiler for Wall {
+    fn profile(&self) -> u64 { Instant::now().elapsed().as_micros() as u64 }
+}
+"#;
+        assert_eq!(scan_source("f.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_and_lookalike_idents_are_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = std::time::Instant::now(); }
+}
+fn f() { let _ = MyInstant::now(); }
+// Instant::now() in a comment
+fn g() { let s = "Instant::now()"; }
+"#;
+        assert!(scan_source("f.rs", src).is_empty(), "{:#?}", scan_source("f.rs", src));
+    }
+}

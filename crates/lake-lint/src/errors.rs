@@ -201,7 +201,7 @@ pub fn scan_atomicity(file: &str, src: &str) -> Vec<Finding> {
     findings
 }
 
-fn matches_at(chars: &[char], i: usize, needle: &str) -> bool {
+pub(crate) fn matches_at(chars: &[char], i: usize, needle: &str) -> bool {
     needle.chars().enumerate().all(|(k, nc)| chars.get(i + k) == Some(&nc))
 }
 
@@ -246,7 +246,7 @@ fn stringly_error(sig: &str) -> Option<&'static str> {
 
 /// Replace comments and string contents with spaces so signature matching
 /// never fires inside them (newlines are preserved for line numbers).
-fn strip_comments_and_strings(src: &str) -> String {
+pub(crate) fn strip_comments_and_strings(src: &str) -> String {
     let chars: Vec<char> = src.chars().collect();
     let mut out = String::with_capacity(src.len());
     let mut i = 0;

@@ -17,6 +17,11 @@
 //!    requires every `ObjectStore` impl that provides `put_if_absent` to
 //!    document its atomicity guarantee: the commit protocol's whole
 //!    correctness rests on that one primitive.
+//! 4. **Clock discipline** ([`clock`]): library code must not call
+//!    `Instant::now`/`SystemTime::now` directly — timed paths thread a
+//!    `lake_core::retry::Clock` so chaos suites and latency histograms
+//!    replay deterministically. Only `impl … Clock for …` blocks touch
+//!    the real clock.
 //!
 //! Existing violations are grandfathered in `lake-lint.baseline.toml`
 //! ([`baseline`]); the baseline can only shrink. Run as:
@@ -27,6 +32,7 @@
 //! ```
 
 pub mod baseline;
+pub mod clock;
 pub mod errors;
 pub mod layering;
 pub mod scanner;
@@ -45,6 +51,8 @@ pub enum Rule {
     ErrorDiscipline,
     /// Tier-inverting dependency edge.
     Layering,
+    /// Direct wall/monotonic time read outside a `Clock` implementation.
+    ClockDiscipline,
 }
 
 impl Rule {
@@ -55,6 +63,7 @@ impl Rule {
             Rule::Indexing => "indexing",
             Rule::ErrorDiscipline => "error-discipline",
             Rule::Layering => "layering",
+            Rule::ClockDiscipline => "clock-discipline",
         }
     }
 
@@ -65,6 +74,7 @@ impl Rule {
             "indexing" => Some(Rule::Indexing),
             "error-discipline" => Some(Rule::ErrorDiscipline),
             "layering" => Some(Rule::Layering),
+            "clock-discipline" => Some(Rule::ClockDiscipline),
             _ => None,
         }
     }
@@ -148,6 +158,7 @@ fn walk_sources(dir: &Path, root: &Path, findings: &mut Vec<Finding>) -> std::io
             findings.extend(scanner::scan_source(&rel, &src, hot));
             findings.extend(errors::scan_source(&rel, &src));
             findings.extend(errors::scan_atomicity(&rel, &src));
+            findings.extend(clock::scan_source(&rel, &src));
         }
     }
     Ok(())
@@ -219,7 +230,13 @@ mod tests {
 
     #[test]
     fn rule_keys_roundtrip() {
-        for rule in [Rule::Panic, Rule::Indexing, Rule::ErrorDiscipline, Rule::Layering] {
+        for rule in [
+            Rule::Panic,
+            Rule::Indexing,
+            Rule::ErrorDiscipline,
+            Rule::Layering,
+            Rule::ClockDiscipline,
+        ] {
             assert_eq!(Rule::from_key(rule.key()), Some(rule));
         }
         assert_eq!(Rule::from_key("nope"), None);

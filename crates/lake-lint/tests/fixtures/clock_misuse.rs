@@ -1,0 +1,43 @@
+//! Fixture for the clock-discipline lint: three violations expected —
+//! the two direct reads in `measure` and the one inside a non-Clock impl.
+//! The `Clock` impl and the `#[cfg(test)]` helper must NOT be flagged.
+
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> u64 {
+    let t0 = std::time::Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_micros() as u64
+}
+
+pub struct WallProfiler;
+
+impl Profiler for WallProfiler {
+    fn elapsed_micros(&self) -> u64 {
+        Instant::now().elapsed().as_micros() as u64
+    }
+}
+
+pub struct RealClock;
+
+impl Clock for RealClock {
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+
+    fn now_micros(&self) -> u64 {
+        // Exempt: a Clock implementation is the designated owner of the
+        // real time source.
+        Instant::now().elapsed().as_micros() as u64
+    }
+}
+
+// Instant::now() in a comment never fires.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_themselves() {
+        let _ = std::time::Instant::now();
+    }
+}

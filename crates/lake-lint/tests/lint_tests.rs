@@ -57,6 +57,19 @@ fn string_error_fixture_has_expected_findings() {
     assert!(findings[1].message.contains("Box<dyn Error>"), "{}", findings[1].message);
 }
 
+#[test]
+fn clock_misuse_fixture_has_expected_findings() {
+    let src = fixture("clock_misuse.rs");
+    let findings = lake_lint::clock::scan_source("fixtures/clock_misuse.rs", &src);
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::ClockDiscipline));
+    let instants =
+        findings.iter().filter(|f| f.message.contains("Instant::now")).count();
+    let walls =
+        findings.iter().filter(|f| f.message.contains("SystemTime::now")).count();
+    assert_eq!((instants, walls), (2, 1), "{findings:#?}");
+}
+
 fn workspace_root() -> PathBuf {
     let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
     lake_lint::find_workspace_root(manifest_dir).expect("workspace root above lake-lint")

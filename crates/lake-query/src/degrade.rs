@@ -1,0 +1,459 @@
+//! Graceful degradation for the federated mediator (§7.2 robustness).
+//!
+//! Real federated engines in the Constance/GEMMS lineage must answer even
+//! when individual backends are slow or failing; one bad source must not
+//! take down every mediated query. This module holds the three pieces of
+//! the degradation ladder the [`crate::federated::FederatedEngine`] walks
+//! per source:
+//!
+//! 1. a [`QueryBudget`] — a total deadline for the whole fan-out plus a
+//!    per-source deadline, measured on the injectable
+//!    [`lake_core::retry::Clock`] so tests replay deterministically;
+//! 2. a [`lake_core::retry::RetryPolicy`] absorbing transient source
+//!    errors (carried in [`DegradationConfig`]);
+//! 3. a per-backend [`CircuitBreaker`]: Closed → Open after a run of
+//!    consecutive failures, Open → HalfOpen probe once a cooldown has
+//!    elapsed, HalfOpen → Closed on probe success (or back to Open on
+//!    probe failure). Breaker state is shared across queries via the
+//!    engine, so a dead backend stops being hammered after a few queries.
+//!
+//! What a skipped source *means* is recorded in a [`Completeness`] report
+//! on [`crate::federated::ExecStats`], so callers can distinguish exact
+//! answers from degraded ones instead of being silently short-changed.
+
+use lake_store::StoreKind;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Why a source contributed nothing to a degraded answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SkipReason {
+    /// The source's circuit breaker was open; no fetch was attempted.
+    BreakerOpen,
+    /// The fetch completed but took longer than the per-source deadline;
+    /// its rows arrived too late to merge.
+    Timeout,
+    /// The query's total deadline expired before this source was reached.
+    Deadline,
+    /// The fetch failed (after exhausting the retry budget, if the error
+    /// was transient).
+    Failed,
+}
+
+impl SkipReason {
+    /// Stable label used in metrics and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkipReason::BreakerOpen => "breaker_open",
+            SkipReason::Timeout => "timeout",
+            SkipReason::Deadline => "deadline",
+            SkipReason::Failed => "failed",
+        }
+    }
+}
+
+/// One source that was skipped during a degraded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedSource {
+    /// The source's location (table / collection / object key).
+    pub location: String,
+    /// Which substrate it lives in.
+    pub kind: StoreKind,
+    /// Why it was skipped.
+    pub reason: SkipReason,
+}
+
+/// Completeness report of one federated execution: which sources
+/// answered, which were skipped and why, and whether the merged table may
+/// therefore be missing rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Completeness {
+    /// Sources that answered within budget.
+    pub sources_ok: usize,
+    /// Sources skipped (for any [`SkipReason`]).
+    pub skipped: Vec<SkippedSource>,
+    /// True when any source was skipped: rows that source would have
+    /// contributed are absent from the answer.
+    pub is_partial: bool,
+}
+
+impl Completeness {
+    /// Sources skipped for `reason`.
+    pub fn skipped_for(&self, reason: SkipReason) -> usize {
+        self.skipped.iter().filter(|s| s.reason == reason).count()
+    }
+
+    /// Sources whose answer arrived after the per-source deadline.
+    pub fn timed_out(&self) -> usize {
+        self.skipped_for(SkipReason::Timeout)
+    }
+
+    /// Total sources consulted (answered + skipped).
+    pub fn sources_total(&self) -> usize {
+        self.sources_ok + self.skipped.len()
+    }
+
+    /// Fold another report into this one (used by joins, whose two sides
+    /// execute as independent fan-outs).
+    pub fn merge(&mut self, other: &Completeness) {
+        self.sources_ok += other.sources_ok;
+        self.skipped.extend(other.skipped.iter().cloned());
+        self.is_partial |= other.is_partial;
+    }
+
+    /// One-line human rendering: `3/4 sources (skipped orders_docs: failed)`.
+    pub fn render(&self) -> String {
+        if self.skipped.is_empty() {
+            return format!("{}/{} sources", self.sources_ok, self.sources_total());
+        }
+        let detail: Vec<String> = self
+            .skipped
+            .iter()
+            .map(|s| format!("{}: {}", s.location, s.reason.name()))
+            .collect();
+        format!(
+            "{}/{} sources (skipped {})",
+            self.sources_ok,
+            self.sources_total(),
+            detail.join(", ")
+        )
+    }
+}
+
+/// Deadlines for one federated execution, measured on the engine's clock.
+/// `None` disables the respective check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Upper bound on the whole fan-out, in milliseconds. Sources not yet
+    /// consulted when it expires are skipped with [`SkipReason::Deadline`].
+    pub total_ms: Option<u64>,
+    /// Upper bound on a single source fetch (including its retries), in
+    /// milliseconds. A fetch that finishes late is discarded with
+    /// [`SkipReason::Timeout`] and counts as a breaker failure.
+    pub per_source_ms: Option<u64>,
+}
+
+impl QueryBudget {
+    /// No deadlines at all.
+    pub fn unlimited() -> QueryBudget {
+        QueryBudget::default()
+    }
+
+    /// Set the total fan-out deadline.
+    pub fn with_total_ms(mut self, ms: u64) -> QueryBudget {
+        self.total_ms = Some(ms);
+        self
+    }
+
+    /// Set the per-source deadline.
+    pub fn with_per_source_ms(mut self, ms: u64) -> QueryBudget {
+        self.per_source_ms = Some(ms);
+        self
+    }
+}
+
+/// Breaker thresholds shared by all backends of one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a Closed breaker to Open.
+    pub failure_threshold: u32,
+    /// How long an Open breaker rejects before allowing one HalfOpen
+    /// probe, in milliseconds.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig { failure_threshold: 3, cooldown_ms: 1_000 }
+    }
+}
+
+/// A breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; failures are counted.
+    Closed,
+    /// Requests are rejected without touching the backend.
+    Open,
+    /// The cooldown elapsed; exactly the next request probes the backend.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label used in gauges and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Gauge encoding: 0 = closed, 1 = open, 2 = half-open.
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// The admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: proceed normally.
+    Allow,
+    /// Breaker half-open: proceed, but this is the single probe — its
+    /// outcome decides whether the breaker closes or re-opens.
+    Probe,
+    /// Breaker open: do not touch the backend.
+    Deny,
+}
+
+#[derive(Debug, Clone)]
+struct BreakerCell {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Virtual time (micros) at which the breaker last opened.
+    opened_at_us: u64,
+}
+
+impl Default for BreakerCell {
+    fn default() -> BreakerCell {
+        BreakerCell { state: BreakerState::Closed, consecutive_failures: 0, opened_at_us: 0 }
+    }
+}
+
+/// A set of per-backend circuit breakers keyed by source location.
+///
+/// All transitions happen synchronously inside [`CircuitBreaker::admit`] /
+/// [`CircuitBreaker::record`] driven by the caller's clock reading, so the
+/// state machine is fully deterministic under a
+/// [`lake_core::retry::ManualClock`]: no background timers, no wall time.
+#[derive(Debug, Default)]
+pub struct CircuitBreaker {
+    cells: Mutex<BTreeMap<String, BreakerCell>>,
+}
+
+impl CircuitBreaker {
+    /// A breaker set with every backend Closed.
+    pub fn new() -> CircuitBreaker {
+        CircuitBreaker::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, BreakerCell>> {
+        // A poisoned lock only means another query thread panicked while
+        // holding it; breaker state is monotone-recoverable, keep going.
+        match self.cells.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Should a request to `key` proceed at virtual time `now_us`?
+    /// An Open breaker whose cooldown has elapsed transitions to HalfOpen
+    /// here and admits the request as the probe.
+    pub fn admit(&self, key: &str, cfg: &BreakerConfig, now_us: u64) -> Admission {
+        let mut cells = self.lock();
+        let cell = cells.entry(key.to_string()).or_default();
+        match cell.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open => {
+                let cooldown_us = cfg.cooldown_ms.saturating_mul(1_000);
+                if now_us.saturating_sub(cell.opened_at_us) >= cooldown_us {
+                    cell.state = BreakerState::HalfOpen;
+                    Admission::Probe
+                } else {
+                    Admission::Deny
+                }
+            }
+        }
+    }
+
+    /// Record the outcome of an admitted request; returns the resulting
+    /// state so callers can export it as a gauge.
+    pub fn record(
+        &self,
+        key: &str,
+        cfg: &BreakerConfig,
+        now_us: u64,
+        success: bool,
+    ) -> BreakerState {
+        let mut cells = self.lock();
+        let cell = cells.entry(key.to_string()).or_default();
+        if success {
+            cell.state = BreakerState::Closed;
+            cell.consecutive_failures = 0;
+        } else {
+            cell.consecutive_failures = cell.consecutive_failures.saturating_add(1);
+            let tripped = match cell.state {
+                // A failed probe re-opens immediately.
+                BreakerState::HalfOpen => true,
+                BreakerState::Closed => cell.consecutive_failures >= cfg.failure_threshold,
+                BreakerState::Open => true,
+            };
+            if tripped {
+                cell.state = BreakerState::Open;
+                cell.opened_at_us = now_us;
+            }
+        }
+        cell.state
+    }
+
+    /// The state of `key`'s breaker (Closed if never consulted).
+    pub fn state(&self, key: &str) -> BreakerState {
+        self.lock().get(key).map(|c| c.state).unwrap_or(BreakerState::Closed)
+    }
+
+    /// Snapshot of every breaker: (key, state, consecutive failures).
+    pub fn status(&self) -> Vec<(String, BreakerState, u32)> {
+        self.lock()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.state, c.consecutive_failures))
+            .collect()
+    }
+}
+
+/// The full degradation configuration attached to an engine with
+/// [`crate::federated::FederatedEngine::with_degradation`].
+#[derive(Debug, Clone)]
+pub struct DegradationConfig {
+    /// Deadlines for each execution.
+    pub budget: QueryBudget,
+    /// Breaker thresholds (state itself lives on the engine).
+    pub breaker: BreakerConfig,
+    /// Retry policy for transient source errors.
+    pub retry: lake_core::retry::RetryPolicy,
+    /// When true, any would-be skip surfaces as an error instead —
+    /// today's fail-fast semantics, with the budget/breaker machinery
+    /// still protecting the backends.
+    pub strict: bool,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> DegradationConfig {
+        DegradationConfig {
+            budget: QueryBudget::unlimited(),
+            breaker: BreakerConfig::default(),
+            retry: lake_core::retry::RetryPolicy::default(),
+            strict: false,
+        }
+    }
+}
+
+impl DegradationConfig {
+    /// Degraded (skip-and-report) mode with default thresholds.
+    pub fn degraded() -> DegradationConfig {
+        DegradationConfig::default()
+    }
+
+    /// Fail-fast mode: budget and breaker still run, but every skip is an
+    /// error.
+    pub fn strict() -> DegradationConfig {
+        DegradationConfig { strict: true, ..DegradationConfig::default() }
+    }
+
+    /// Replace the budget.
+    pub fn with_budget(mut self, budget: QueryBudget) -> DegradationConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// Replace the breaker thresholds.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> DegradationConfig {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Replace the retry policy.
+    pub fn with_retry(mut self, retry: lake_core::retry::RetryPolicy) -> DegradationConfig {
+        self.retry = retry;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: BreakerConfig = BreakerConfig { failure_threshold: 2, cooldown_ms: 10 };
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures() {
+        let br = CircuitBreaker::new();
+        assert_eq!(br.admit("s", &CFG, 0), Admission::Allow);
+        assert_eq!(br.record("s", &CFG, 0, false), BreakerState::Closed);
+        assert_eq!(br.admit("s", &CFG, 0), Admission::Allow);
+        assert_eq!(br.record("s", &CFG, 0, false), BreakerState::Open);
+        assert_eq!(br.admit("s", &CFG, 1_000), Admission::Deny);
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let br = CircuitBreaker::new();
+        br.record("s", &CFG, 0, false);
+        br.record("s", &CFG, 0, true);
+        // The run restarts: one more failure is below the threshold.
+        assert_eq!(br.record("s", &CFG, 0, false), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_elapses_into_half_open_probe() {
+        let br = CircuitBreaker::new();
+        br.record("s", &CFG, 0, false);
+        br.record("s", &CFG, 0, false); // open at t=0
+        assert_eq!(br.admit("s", &CFG, 9_999), Admission::Deny);
+        assert_eq!(br.admit("s", &CFG, 10_000), Admission::Probe);
+        assert_eq!(br.state("s"), BreakerState::HalfOpen);
+        // Probe success closes.
+        assert_eq!(br.record("s", &CFG, 10_000, true), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let br = CircuitBreaker::new();
+        br.record("s", &CFG, 0, false);
+        br.record("s", &CFG, 0, false);
+        assert_eq!(br.admit("s", &CFG, 10_000), Admission::Probe);
+        assert_eq!(br.record("s", &CFG, 10_000, false), BreakerState::Open);
+        // Cooldown restarts from the re-open time.
+        assert_eq!(br.admit("s", &CFG, 19_999), Admission::Deny);
+        assert_eq!(br.admit("s", &CFG, 20_000), Admission::Probe);
+    }
+
+    #[test]
+    fn breakers_are_independent_per_key() {
+        let br = CircuitBreaker::new();
+        br.record("a", &CFG, 0, false);
+        br.record("a", &CFG, 0, false);
+        assert_eq!(br.state("a"), BreakerState::Open);
+        assert_eq!(br.state("b"), BreakerState::Closed);
+        assert_eq!(br.admit("b", &CFG, 0), Admission::Allow);
+        let status = br.status();
+        assert_eq!(status.len(), 2);
+    }
+
+    #[test]
+    fn completeness_merge_and_render() {
+        let mut a = Completeness { sources_ok: 2, skipped: vec![], is_partial: false };
+        let b = Completeness {
+            sources_ok: 1,
+            skipped: vec![SkippedSource {
+                location: "orders_docs".into(),
+                kind: StoreKind::Document,
+                reason: SkipReason::Failed,
+            }],
+            is_partial: true,
+        };
+        a.merge(&b);
+        assert_eq!(a.sources_ok, 3);
+        assert!(a.is_partial);
+        assert_eq!(a.sources_total(), 4);
+        assert_eq!(a.skipped_for(SkipReason::Failed), 1);
+        assert_eq!(a.render(), "3/4 sources (skipped orders_docs: failed)");
+        let clean = Completeness { sources_ok: 3, ..Completeness::default() };
+        assert_eq!(clean.render(), "3/3 sources");
+    }
+}

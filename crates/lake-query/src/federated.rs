@@ -14,31 +14,47 @@
 //! * predicates are evaluated inside each source when `pushdown` is on
 //!   (the measurable E9 toggle), or at the mediator otherwise;
 //! * SPARQL-like triple patterns pass through to the graph store.
+//!
+//! With a [`DegradationConfig`] attached ([`FederatedEngine::with_degradation`])
+//! the engine degrades gracefully instead of failing fast: each source
+//! fetch walks the **budget → retry → breaker → skip** ladder (see
+//! [`crate::degrade`]) and a skipped source is recorded in the
+//! [`Completeness`] report on [`ExecStats`] rather than aborting the
+//! query. `strict` mode keeps the protection machinery but surfaces every
+//! skip as an error — the pre-degradation semantics.
 
 use crate::ast::Query;
-use lake_core::retry::Clock;
+use crate::degrade::{
+    Admission, BreakerState, CircuitBreaker, Completeness, DegradationConfig, SkipReason,
+    SkippedSource,
+};
+use crate::fault::FaultSource;
+use lake_core::retry::{retry_with_stats, Clock, RetryStats, SystemClock};
 use lake_core::{Column, Json, LakeError, Result, Table, Value};
 use lake_obs::{Counter, Histogram, MetricsRegistry, MICROS_TO_SECONDS};
 use lake_store::graphstore::TriplePattern;
 use lake_store::predicate::Predicate;
 use lake_store::{Polystore, StoreKind};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// Pre-registered `lake_query_*` handles plus the clock timing
-/// per-backend fan-out; attached with [`FederatedEngine::with_obs`].
-struct QueryMetrics {
-    clock: Arc<dyn Clock>,
+/// Pre-registered `lake_query_*` handles plus the registry itself (for
+/// per-source breaker gauges and labelled skip counters created as
+/// backends are first consulted); attached with
+/// [`FederatedEngine::with_obs`].
+struct QueryMetrics<'a> {
+    registry: &'a MetricsRegistry,
     execute_total: Arc<Counter>,
     subqueries_total: Arc<Counter>,
     rows_moved_total: Arc<Counter>,
+    partial_total: Arc<Counter>,
     relational_seconds: Arc<Histogram>,
     document_seconds: Arc<Histogram>,
     file_seconds: Arc<Histogram>,
 }
 
-impl QueryMetrics {
-    fn register(registry: &MetricsRegistry, clock: Arc<dyn Clock>) -> QueryMetrics {
+impl<'a> QueryMetrics<'a> {
+    fn register(registry: &'a MetricsRegistry) -> QueryMetrics<'a> {
         let source = |kind: &str| {
             registry.histogram_with(
                 "lake_query_source_seconds",
@@ -47,10 +63,11 @@ impl QueryMetrics {
             )
         };
         QueryMetrics {
-            clock,
+            registry,
             execute_total: registry.counter("lake_query_execute_total"),
             subqueries_total: registry.counter("lake_query_subqueries_total"),
             rows_moved_total: registry.counter("lake_query_rows_moved_total"),
+            partial_total: registry.counter("lake_query_partial_total"),
             relational_seconds: source("relational"),
             document_seconds: source("document"),
             file_seconds: source("file"),
@@ -65,6 +82,18 @@ impl QueryMetrics {
             StoreKind::Graph => None,
         }
     }
+
+    fn skipped(&self, reason: SkipReason) {
+        self.registry
+            .counter_with("lake_query_source_skipped_total", &[("reason", reason.name())])
+            .inc();
+    }
+
+    fn breaker_state(&self, key: &str, state: BreakerState) {
+        self.registry
+            .gauge_with("lake_query_breaker_state", &[("source", key)])
+            .set(state.gauge_value());
+    }
 }
 
 /// One source backing a mediated table.
@@ -78,39 +107,83 @@ pub struct SourceBinding {
     pub columns: BTreeMap<String, String>,
 }
 
-/// Execution metrics of one federated query (the E9 measurements).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Execution metrics of one federated query (the E9 measurements), plus
+/// the completeness report distinguishing exact from degraded answers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Rows/documents shipped from sources to the mediator.
     pub rows_moved: usize,
-    /// Subqueries issued.
+    /// Subqueries issued (breaker-denied sources issue none).
     pub subqueries: usize,
+    /// Which sources answered, which were skipped and why.
+    pub completeness: Completeness,
 }
 
 /// The mediator.
 pub struct FederatedEngine<'a> {
     store: &'a Polystore,
     mediated: BTreeMap<String, Vec<SourceBinding>>,
-    obs: Option<QueryMetrics>,
+    obs: Option<QueryMetrics<'a>>,
+    clock: Arc<dyn Clock>,
+    degradation: Option<DegradationConfig>,
+    breakers: CircuitBreaker,
+    faults: Option<FaultSource>,
+    retry_stats: Mutex<RetryStats>,
 }
 
 impl<'a> FederatedEngine<'a> {
     /// A mediator over a polystore.
     pub fn new(store: &'a Polystore) -> FederatedEngine<'a> {
-        FederatedEngine { store, mediated: BTreeMap::new(), obs: None }
+        FederatedEngine {
+            store,
+            mediated: BTreeMap::new(),
+            obs: None,
+            clock: Arc::new(SystemClock),
+            degradation: None,
+            breakers: CircuitBreaker::new(),
+            faults: None,
+            retry_stats: Mutex::new(RetryStats::default()),
+        }
     }
 
     /// Attach a metrics registry: `execute` then records
     /// `lake_query_execute_total`, `lake_query_subqueries_total`,
-    /// `lake_query_rows_moved_total` counters and a per-backend
-    /// `lake_query_source_seconds{kind=...}` fan-out latency histogram
-    /// timed with `clock` (pass a `ManualClock` for deterministic tests).
+    /// `lake_query_rows_moved_total`, `lake_query_partial_total` counters,
+    /// a per-backend `lake_query_source_seconds{kind=...}` fan-out latency
+    /// histogram timed with `clock` (pass a `ManualClock` for
+    /// deterministic tests), and — under degradation — per-reason
+    /// `lake_query_source_skipped_total` counters plus per-source
+    /// `lake_query_breaker_state` gauges (0 closed / 1 open / 2 half-open).
     pub fn with_obs(
         mut self,
-        registry: &MetricsRegistry,
+        registry: &'a MetricsRegistry,
         clock: Arc<dyn Clock>,
     ) -> FederatedEngine<'a> {
-        self.obs = Some(QueryMetrics::register(registry, clock));
+        self.obs = Some(QueryMetrics::register(registry));
+        self.clock = clock;
+        self
+    }
+
+    /// Replace the engine clock (deadlines, fan-out timing, breaker
+    /// cooldowns). [`FederatedEngine::with_obs`] also sets it.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> FederatedEngine<'a> {
+        self.clock = clock;
+        self
+    }
+
+    /// Enable the degradation ladder: deadlines from the budget, retries
+    /// for transient source errors, per-backend circuit breakers, and —
+    /// unless `config.strict` — skip-and-report semantics for failing
+    /// sources.
+    pub fn with_degradation(mut self, config: DegradationConfig) -> FederatedEngine<'a> {
+        self.degradation = Some(config);
+        self
+    }
+
+    /// Attach a seeded fault injector intercepting every source fetch
+    /// (tests / chaos suites; see [`crate::fault::FaultSource`]).
+    pub fn with_faults(mut self, faults: FaultSource) -> FederatedEngine<'a> {
+        self.faults = Some(faults);
         self
     }
 
@@ -124,7 +197,41 @@ impl<'a> FederatedEngine<'a> {
         self.mediated.keys().map(String::as_str).collect()
     }
 
+    /// Per-backend breaker snapshot: (source, state, consecutive failures).
+    /// Empty until sources have been consulted under degradation.
+    pub fn breaker_status(&self) -> Vec<(String, BreakerState, u32)> {
+        self.breakers.status()
+    }
+
+    /// Retry counters accumulated across this engine's source fetches.
+    pub fn retry_stats(&self) -> RetryStats {
+        match self.retry_stats.lock() {
+            Ok(g) => *g,
+            Err(p) => *p.into_inner(),
+        }
+    }
+
+    /// The attached fault injector's counters, if any.
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultSourceStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    fn merge_retry(&self, stats: &RetryStats) {
+        match self.retry_stats.lock() {
+            Ok(mut g) => g.merge(stats),
+            Err(p) => p.into_inner().merge(stats),
+        }
+    }
+
+    fn export_breaker(&self, key: &str, state: BreakerState) {
+        if let Some(obs) = &self.obs {
+            obs.breaker_state(key, state);
+        }
+    }
+
     /// Execute a query; returns the merged table and execution stats.
+    /// Under degradation, failing sources are skipped and recorded in
+    /// `stats.completeness` instead of aborting (unless `strict`).
     pub fn execute(&self, query: &Query, pushdown: bool) -> Result<(Table, ExecStats)> {
         let sources = self
             .mediated
@@ -143,25 +250,27 @@ impl<'a> FederatedEngine<'a> {
         let mut out_cols: Vec<Column> =
             select.iter().map(|n| Column::new(n.clone(), Vec::new())).collect();
 
+        let q_start = self.clock.now_micros();
         for src in sources {
-            stats.subqueries += 1;
-            let started = self.obs.as_ref().map(|o| o.clock.now_micros());
-            let fetched = self.fetch(src, &select, &query.filters, pushdown, &mut stats);
-            if let (Some(obs), Some(start)) = (self.obs.as_ref(), started) {
-                if let Some(hist) = obs.source_seconds(src.store) {
-                    hist.observe(obs.clock.now_micros().saturating_sub(start));
-                }
-            }
-            for row in fetched? {
-                for (c, v) in out_cols.iter_mut().zip(row) {
-                    c.values.push(v);
+            if let Some(rows) =
+                self.consult(src, &select, &query.filters, pushdown, q_start, &mut stats)?
+            {
+                stats.completeness.sources_ok += 1;
+                for row in rows {
+                    for (c, v) in out_cols.iter_mut().zip(row) {
+                        c.values.push(v);
+                    }
                 }
             }
         }
+        stats.completeness.is_partial = !stats.completeness.skipped.is_empty();
         if let Some(obs) = self.obs.as_ref() {
             obs.execute_total.inc();
             obs.subqueries_total.add(stats.subqueries as u64);
             obs.rows_moved_total.add(stats.rows_moved as u64);
+            if stats.completeness.is_partial {
+                obs.partial_total.inc();
+            }
         }
         let mut t = Table::from_columns(query.table.clone(), out_cols)?;
         if let Some(limit) = query.limit {
@@ -174,14 +283,178 @@ impl<'a> FederatedEngine<'a> {
         Ok((t, stats))
     }
 
+    /// Consult one source through the degradation ladder. `Ok(Some(rows))`
+    /// merges; `Ok(None)` means the source was skipped and recorded in
+    /// `stats.completeness`; `Err` aborts the query (no degradation
+    /// configured, or strict mode).
+    fn consult(
+        &self,
+        src: &SourceBinding,
+        select: &[String],
+        filters: &[Predicate],
+        pushdown: bool,
+        q_start_us: u64,
+        stats: &mut ExecStats,
+    ) -> Result<Option<Vec<Vec<Value>>>> {
+        let Some(cfg) = self.degradation.clone() else {
+            // No degradation: fail-fast, but faults still intercept so
+            // the decorator works standalone.
+            stats.subqueries += 1;
+            let started = self.clock.now_micros();
+            let fetched = self.intercepted_fetch(src, select, filters, pushdown);
+            self.observe_source(src.store, started);
+            let (rows, moved) = fetched?;
+            stats.rows_moved += moved;
+            return Ok(Some(rows));
+        };
+
+        // 1. Total budget: sources not reached before the deadline are
+        //    skipped without touching the backend (or its breaker).
+        let now = self.clock.now_micros();
+        if let Some(total) = cfg.budget.total_ms {
+            if now.saturating_sub(q_start_us) > total.saturating_mul(1_000) {
+                return self.skip(
+                    src,
+                    SkipReason::Deadline,
+                    &cfg,
+                    stats,
+                    LakeError::transient(format!(
+                        "query deadline ({total}ms) expired before consulting {}",
+                        src.location
+                    )),
+                );
+            }
+        }
+
+        // 2. Breaker admission: an open breaker rejects without a fetch.
+        match self.breakers.admit(&src.location, &cfg.breaker, now) {
+            Admission::Deny => {
+                return self.skip(
+                    src,
+                    SkipReason::BreakerOpen,
+                    &cfg,
+                    stats,
+                    LakeError::transient(format!("circuit open for {}", src.location)),
+                );
+            }
+            Admission::Allow | Admission::Probe => {}
+        }
+
+        // 3. The fetch itself, under the retry policy (transients only);
+        //    backoff sleeps advance the clock, so they consume budget.
+        stats.subqueries += 1;
+        let started = self.clock.now_micros();
+        let mut rstats = RetryStats::default();
+        let fetched = retry_with_stats(&cfg.retry, self.clock.as_ref(), &mut rstats, || {
+            self.intercepted_fetch(src, select, filters, pushdown)
+        });
+        self.merge_retry(&rstats);
+        let elapsed_us = self.clock.now_micros().saturating_sub(started);
+        self.observe_source(src.store, started);
+
+        // 4. Outcome → breaker + completeness.
+        match fetched {
+            Err(e) => {
+                let state =
+                    self.breakers.record(&src.location, &cfg.breaker, self.clock.now_micros(), false);
+                self.export_breaker(&src.location, state);
+                self.skip(src, SkipReason::Failed, &cfg, stats, e)
+            }
+            Ok((rows, moved)) => {
+                stats.rows_moved += moved;
+                let late = cfg
+                    .budget
+                    .per_source_ms
+                    .is_some_and(|ms| elapsed_us > ms.saturating_mul(1_000));
+                if late {
+                    // The rows shipped but arrived past the per-source
+                    // deadline: discard them and count the source slow.
+                    let state = self.breakers.record(
+                        &src.location,
+                        &cfg.breaker,
+                        self.clock.now_micros(),
+                        false,
+                    );
+                    self.export_breaker(&src.location, state);
+                    self.skip(
+                        src,
+                        SkipReason::Timeout,
+                        &cfg,
+                        stats,
+                        LakeError::transient(format!(
+                            "source {} exceeded its {}ms deadline",
+                            src.location,
+                            cfg.budget.per_source_ms.unwrap_or(0)
+                        )),
+                    )
+                } else {
+                    let state = self.breakers.record(
+                        &src.location,
+                        &cfg.breaker,
+                        self.clock.now_micros(),
+                        true,
+                    );
+                    self.export_breaker(&src.location, state);
+                    Ok(Some(rows))
+                }
+            }
+        }
+    }
+
+    /// Record a skip (degraded) or surface it as the error (strict).
+    fn skip(
+        &self,
+        src: &SourceBinding,
+        reason: SkipReason,
+        cfg: &DegradationConfig,
+        stats: &mut ExecStats,
+        err: LakeError,
+    ) -> Result<Option<Vec<Vec<Value>>>> {
+        if cfg.strict {
+            return Err(err);
+        }
+        if let Some(obs) = &self.obs {
+            obs.skipped(reason);
+        }
+        stats.completeness.skipped.push(SkippedSource {
+            location: src.location.clone(),
+            kind: src.store,
+            reason,
+        });
+        Ok(None)
+    }
+
+    fn observe_source(&self, kind: StoreKind, started_us: u64) {
+        if let Some(obs) = self.obs.as_ref() {
+            if let Some(hist) = obs.source_seconds(kind) {
+                hist.observe(self.clock.now_micros().saturating_sub(started_us));
+            }
+        }
+    }
+
+    /// One fetch attempt with the fault injector (if any) in front.
+    fn intercepted_fetch(
+        &self,
+        src: &SourceBinding,
+        select: &[String],
+        filters: &[Predicate],
+        pushdown: bool,
+    ) -> Result<(Vec<Vec<Value>>, usize)> {
+        if let Some(f) = &self.faults {
+            f.intercept(&src.location, self.clock.as_ref())?;
+        }
+        self.fetch(src, select, filters, pushdown)
+    }
+
+    /// Fetch rows from one source; returns `(rows, rows_moved)` where the
+    /// second component is the E9 data-movement count for this subquery.
     fn fetch(
         &self,
         src: &SourceBinding,
         select: &[String],
         filters: &[Predicate],
         pushdown: bool,
-        stats: &mut ExecStats,
-    ) -> Result<Vec<Vec<Value>>> {
+    ) -> Result<(Vec<Vec<Value>>, usize)> {
         // Map mediated attribute → source attribute.
         let map_attr = |a: &str| -> Result<String> {
             src.columns
@@ -211,7 +484,7 @@ impl<'a> FederatedEngine<'a> {
                     self.store.relational.scan(&src.location, &[], None)?
                 };
                 let mut rows: Vec<Vec<Value>> = t.iter_rows().collect();
-                stats.rows_moved += rows.len();
+                let moved = rows.len();
                 if !pushdown {
                     // Mediator-side filtering + projection.
                     let full = t;
@@ -232,7 +505,7 @@ impl<'a> FederatedEngine<'a> {
                         })
                         .collect();
                 }
-                Ok(rows)
+                Ok((rows, moved))
             }
             StoreKind::Document => {
                 let docs: Vec<Json> = if pushdown {
@@ -249,20 +522,22 @@ impl<'a> FederatedEngine<'a> {
                         })
                         .collect()
                 };
-                stats.rows_moved += if pushdown {
+                let moved = if pushdown {
                     docs.len()
                 } else {
                     self.store.documents.count(&src.location)
                 };
-                Ok(docs
-                    .into_iter()
-                    .map(|d| {
-                        mapped_select
-                            .iter()
-                            .map(|p| d.path(p).map(Json::to_value).unwrap_or(Value::Null))
-                            .collect()
-                    })
-                    .collect())
+                Ok((
+                    docs.into_iter()
+                        .map(|d| {
+                            mapped_select
+                                .iter()
+                                .map(|p| d.path(p).map(Json::to_value).unwrap_or(Value::Null))
+                                .collect()
+                        })
+                        .collect(),
+                    moved,
+                ))
             }
             StoreKind::File => {
                 // Columnar files: data skipping via stats when pushing down.
@@ -277,16 +552,17 @@ impl<'a> FederatedEngine<'a> {
                                 .is_some_and(|s| s.can_skip_eq(&p.value))
                     });
                     if skippable {
-                        return Ok(Vec::new()); // pruned without decoding
+                        return Ok((Vec::new(), 0)); // pruned without decoding
                     }
                 }
                 let t = lake_formats::columnar::decode(&bytes)?;
+                let mut moved = 0usize;
                 if !pushdown {
                     // Without pushdown the whole file ships to the
                     // mediator; with it, a source-side service (Ontario's
                     // Spark connector for HDFS files) filters first, so
                     // only matching rows count as moved (added below).
-                    stats.rows_moved += t.num_rows();
+                    moved += t.num_rows();
                 }
                 let filtered = t.filter(|row| {
                     mapped_filters.iter().all(|p| {
@@ -296,22 +572,25 @@ impl<'a> FederatedEngine<'a> {
                     })
                 });
                 if pushdown {
-                    stats.rows_moved += filtered.num_rows();
+                    moved += filtered.num_rows();
                 }
-                Ok(filtered
-                    .iter_rows()
-                    .map(|row| {
-                        mapped_select
-                            .iter()
-                            .map(|c| {
-                                filtered
-                                    .column_index(c)
-                                    .map(|i| row[i].clone())
-                                    .unwrap_or(Value::Null)
-                            })
-                            .collect()
-                    })
-                    .collect())
+                Ok((
+                    filtered
+                        .iter_rows()
+                        .map(|row| {
+                            mapped_select
+                                .iter()
+                                .map(|c| {
+                                    filtered
+                                        .column_index(c)
+                                        .map(|i| row[i].clone())
+                                        .unwrap_or(Value::Null)
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                    moved,
+                ))
             }
             StoreKind::Graph => Err(LakeError::query(
                 "graph sources are queried via triple patterns (see sparql)",
@@ -323,6 +602,10 @@ impl<'a> FederatedEngine<'a> {
     /// (push-down-enabled) single-table plan with the filters it can bind;
     /// the mediator hash-joins the streams (Squerall: retrieved entities
     /// "are joined and transformed to form the final query results").
+    ///
+    /// Under degradation each side may itself be partial; the joined
+    /// result's completeness merges both sides, so a join over a degraded
+    /// input is *flagged* partial rather than silently missing rows.
     pub fn execute_join(
         &self,
         query: &crate::ast::JoinQuery,
@@ -427,20 +710,61 @@ impl<'a> FederatedEngine<'a> {
                 }
             }
         }
+        let mut completeness = lstats.completeness.clone();
+        completeness.merge(&rstats.completeness);
         let stats = ExecStats {
             rows_moved: lstats.rows_moved + rstats.rows_moved,
             subqueries: lstats.subqueries + rstats.subqueries,
+            completeness,
         };
         Ok((Table::from_columns(format!("{}⋈{}", query.left, query.right), cols)?, stats))
     }
 
     /// SPARQL-like passthrough: match triple patterns on a named graph.
+    ///
+    /// Under degradation the graph backend is protected like any other
+    /// source — breaker key `graph:<name>`, transient retries under the
+    /// policy — but as the query's *only* source there is nothing to
+    /// degrade to: a skip surfaces as the error in both modes (and an
+    /// open breaker fails fast without touching the store).
     pub fn sparql(
         &self,
         graph: &str,
         patterns: &[TriplePattern],
     ) -> Result<Vec<BTreeMap<String, Value>>> {
-        self.store.graphs.match_patterns(graph, patterns)
+        let key = format!("graph:{graph}");
+        let Some(cfg) = self.degradation.clone() else {
+            if let Some(f) = &self.faults {
+                f.intercept(&key, self.clock.as_ref())?;
+            }
+            return self.store.graphs.match_patterns(graph, patterns);
+        };
+        let now = self.clock.now_micros();
+        match self.breakers.admit(&key, &cfg.breaker, now) {
+            Admission::Deny => {
+                if let Some(obs) = &self.obs {
+                    obs.skipped(SkipReason::BreakerOpen);
+                }
+                return Err(LakeError::transient(format!("circuit open for {key}")));
+            }
+            Admission::Allow | Admission::Probe => {}
+        }
+        let mut rstats = RetryStats::default();
+        let res = retry_with_stats(&cfg.retry, self.clock.as_ref(), &mut rstats, || {
+            if let Some(f) = &self.faults {
+                f.intercept(&key, self.clock.as_ref())?;
+            }
+            self.store.graphs.match_patterns(graph, patterns)
+        });
+        self.merge_retry(&rstats);
+        let state = self.breakers.record(&key, &cfg.breaker, self.clock.now_micros(), res.is_ok());
+        self.export_breaker(&key, state);
+        if res.is_err() {
+            if let Some(obs) = &self.obs {
+                obs.skipped(SkipReason::Failed);
+            }
+        }
+        res
     }
 }
 
@@ -448,6 +772,8 @@ impl<'a> FederatedEngine<'a> {
 mod tests {
     use super::*;
     use crate::ast::parse_query;
+    use crate::degrade::{BreakerConfig, QueryBudget};
+    use lake_core::retry::{ManualClock, RetryPolicy};
     use lake_core::Dataset;
     use lake_core::DatasetId;
 
@@ -521,6 +847,27 @@ mod tests {
         fe
     }
 
+    /// Registers the "tiers" mediated table over a document collection.
+    fn register_tiers(ps: &Polystore, fe: &mut FederatedEngine<'_>) {
+        let profiles = vec![
+            lake_formats::json::parse(r#"{"who": "c1", "tier": "gold"}"#).unwrap(),
+            lake_formats::json::parse(r#"{"who": "c3", "tier": "silver"}"#).unwrap(),
+        ];
+        ps.documents.insert_many("profiles", profiles);
+        fe.register(
+            "tiers",
+            vec![SourceBinding {
+                store: StoreKind::Document,
+                location: "profiles".into(),
+                columns: [
+                    ("who".to_string(), "who".to_string()),
+                    ("tier".to_string(), "tier".to_string()),
+                ]
+                .into(),
+            }],
+        );
+    }
+
     #[test]
     fn query_unions_heterogeneous_sources() {
         let ps = setup();
@@ -529,6 +876,8 @@ mod tests {
         let (t, stats) = fe.execute(&q, true).unwrap();
         assert_eq!(t.num_rows(), 6);
         assert_eq!(stats.subqueries, 3);
+        assert!(!stats.completeness.is_partial);
+        assert_eq!(stats.completeness.sources_ok, 3);
         let cities = t.column("city").unwrap();
         assert!(cities.values.contains(&Value::str("rome")));
         assert!(cities.values.contains(&Value::str("oslo")));
@@ -591,23 +940,7 @@ mod tests {
         let ps = setup();
         // Second mediated table over the document store keyed by buyer.
         let mut fe = engine(&ps);
-        let profiles = vec![
-            lake_formats::json::parse(r#"{"who": "c1", "tier": "gold"}"#).unwrap(),
-            lake_formats::json::parse(r#"{"who": "c3", "tier": "silver"}"#).unwrap(),
-        ];
-        ps.documents.insert_many("profiles", profiles);
-        fe.register(
-            "tiers",
-            vec![SourceBinding {
-                store: StoreKind::Document,
-                location: "profiles".into(),
-                columns: [
-                    ("who".to_string(), "who".to_string()),
-                    ("tier".to_string(), "tier".to_string()),
-                ]
-                .into(),
-            }],
-        );
+        register_tiers(&ps, &mut fe);
         let q = crate::ast::parse_join_query(
             "select tier, city from orders join tiers on customer = who where city = 'delft'",
         )
@@ -620,6 +953,7 @@ mod tests {
         assert!(tiers.contains(&"gold".to_string()));
         assert!(tiers.contains(&"silver".to_string()));
         assert!(stats.subqueries >= 4);
+        assert!(!stats.completeness.is_partial);
 
         // Limit applies to joined output.
         let q2 = crate::ast::parse_join_query(
@@ -730,5 +1064,209 @@ mod tests {
             snap.counter_value("lake_query_rows_moved_total"),
             (stats.rows_moved + stats2.rows_moved) as u64
         );
+    }
+
+    #[test]
+    fn dead_backend_degrades_to_partial_answer() {
+        let ps = setup();
+        let clock = Arc::new(ManualClock::new());
+        let fe = engine(&ps)
+            .with_clock(clock)
+            .with_degradation(
+                DegradationConfig::degraded().with_retry(RetryPolicy::none()),
+            )
+            .with_faults(FaultSource::new().dead("orders_docs"));
+        let q = parse_query("select customer, city from orders").unwrap();
+        let (t, stats) = fe.execute(&q, true).unwrap();
+        // Relational (3) + file (1) rows; the document source is gone.
+        assert_eq!(t.num_rows(), 4);
+        assert!(stats.completeness.is_partial);
+        assert_eq!(stats.completeness.sources_ok, 2);
+        assert_eq!(stats.completeness.skipped.len(), 1);
+        assert_eq!(stats.completeness.skipped[0].location, "orders_docs");
+        assert_eq!(stats.completeness.skipped[0].reason, SkipReason::Failed);
+    }
+
+    #[test]
+    fn strict_mode_preserves_fail_fast() {
+        let ps = setup();
+        let clock = Arc::new(ManualClock::new());
+        let fe = engine(&ps)
+            .with_clock(clock)
+            .with_degradation(DegradationConfig::strict().with_retry(RetryPolicy::none()))
+            .with_faults(FaultSource::new().dead("orders_docs"));
+        let q = parse_query("select customer from orders").unwrap();
+        let r = fe.execute(&q, true);
+        assert!(matches!(r, Err(LakeError::Io(_))), "{r:?}");
+    }
+
+    #[test]
+    fn transients_are_absorbed_by_the_retry_policy() {
+        let ps = setup();
+        let clock = Arc::new(ManualClock::new());
+        let fe = engine(&ps)
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .with_degradation(
+                DegradationConfig::degraded().with_retry(RetryPolicy::new(3)),
+            )
+            .with_faults(FaultSource::new().transient("orders_eu", 2));
+        let q = parse_query("select customer from orders").unwrap();
+        let (t, stats) = fe.execute(&q, true).unwrap();
+        assert_eq!(t.num_rows(), 6, "all rows despite transients");
+        assert!(!stats.completeness.is_partial);
+        assert_eq!(fe.retry_stats().retries, 2);
+        assert_eq!(clock.sleeps().len(), 2, "two backoffs recorded");
+    }
+
+    #[test]
+    fn join_with_one_side_degraded_is_flagged_partial() {
+        let ps = setup();
+        let clock = Arc::new(ManualClock::new());
+        let mut fe = engine(&ps);
+        register_tiers(&ps, &mut fe);
+        let fe = fe
+            .with_clock(clock)
+            .with_degradation(
+                DegradationConfig::degraded().with_retry(RetryPolicy::none()),
+            )
+            .with_faults(FaultSource::new().dead("profiles"));
+        let q = crate::ast::parse_join_query(
+            "select tier, city from orders join tiers on customer = who where city = 'delft'",
+        )
+        .unwrap();
+        let (t, stats) = fe.execute_join(&q, true).unwrap();
+        // The tiers side is dead: no join rows can be produced — but the
+        // answer says so instead of pretending to be exact.
+        assert_eq!(t.num_rows(), 0);
+        assert!(stats.completeness.is_partial, "join over a degraded side must be flagged");
+        assert_eq!(stats.completeness.skipped[0].location, "profiles");
+        // The healthy side still answered.
+        assert_eq!(stats.completeness.sources_ok, 3);
+    }
+
+    #[test]
+    fn sparql_is_protected_by_the_breaker() {
+        let ps = setup();
+        let mut g = lake_core::PropertyGraph::new();
+        let a = g.add_node_with("Person", vec![("name", Value::str("ada"))]);
+        let b = g.add_node_with("City", vec![("name", Value::str("delft"))]);
+        g.add_edge(a, b, "lives_in");
+        ps.graphs.put_graph("people", g);
+        let clock = Arc::new(ManualClock::new());
+        let fe = engine(&ps)
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .with_degradation(
+                DegradationConfig::degraded()
+                    .with_retry(RetryPolicy::none())
+                    .with_breaker(BreakerConfig { failure_threshold: 2, cooldown_ms: 100 }),
+            )
+            .with_faults(FaultSource::new().hard("graph:people", 2));
+        let pats = [TriplePattern {
+            s: lake_store::graphstore::Term::Var("p".into()),
+            p: lake_store::graphstore::Term::Const(Value::str("lives_in")),
+            o: lake_store::graphstore::Term::Var("c".into()),
+        }];
+        // Two hard failures trip the breaker…
+        assert!(fe.sparql("people", &pats).is_err());
+        assert!(fe.sparql("people", &pats).is_err());
+        assert_eq!(
+            fe.breaker_status(),
+            vec![("graph:people".to_string(), BreakerState::Open, 2)]
+        );
+        // …so the next call fails fast without reaching the injector.
+        let calls_before = fe.fault_stats().map(|s| s.calls_to("graph:people")).unwrap_or(0);
+        assert!(fe.sparql("people", &pats).is_err());
+        assert_eq!(
+            fe.fault_stats().map(|s| s.calls_to("graph:people")),
+            Some(calls_before),
+            "open breaker must not touch the backend"
+        );
+        // After the cooldown the half-open probe succeeds and closes.
+        clock.advance_micros(100_000);
+        let res = fe.sparql("people", &pats).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(fe.breaker_status()[0].1, BreakerState::Closed);
+    }
+
+    #[test]
+    fn per_source_deadline_discards_late_rows() {
+        let ps = setup();
+        let clock = Arc::new(ManualClock::new());
+        let fe = engine(&ps)
+            .with_clock(clock)
+            .with_degradation(
+                DegradationConfig::degraded()
+                    .with_retry(RetryPolicy::none())
+                    .with_budget(QueryBudget::unlimited().with_per_source_ms(10)),
+            )
+            .with_faults(FaultSource::new().slow("orders_eu", 50));
+        let q = parse_query("select customer from orders").unwrap();
+        let (t, stats) = fe.execute(&q, true).unwrap();
+        // The relational source hung 50ms > 10ms deadline: its 3 rows
+        // shipped but were discarded.
+        assert_eq!(t.num_rows(), 3, "docs (2) + file (1)");
+        assert!(stats.completeness.is_partial);
+        assert_eq!(stats.completeness.timed_out(), 1);
+        assert_eq!(stats.completeness.skipped[0].reason, SkipReason::Timeout);
+    }
+
+    #[test]
+    fn total_deadline_skips_remaining_sources() {
+        let ps = setup();
+        let clock = Arc::new(ManualClock::new());
+        let fe = engine(&ps)
+            .with_clock(clock)
+            .with_degradation(
+                DegradationConfig::degraded()
+                    .with_retry(RetryPolicy::none())
+                    .with_budget(QueryBudget::unlimited().with_total_ms(20)),
+            )
+            // The first source consumes the whole budget.
+            .with_faults(FaultSource::new().slow("orders_eu", 30));
+        let q = parse_query("select customer from orders").unwrap();
+        let (t, stats) = fe.execute(&q, true).unwrap();
+        // orders_eu answered (slow but no per-source deadline); the two
+        // remaining sources were never consulted.
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(stats.subqueries, 1, "deadline-skipped sources issue no subquery");
+        assert_eq!(stats.completeness.skipped_for(SkipReason::Deadline), 2);
+        assert!(stats.completeness.is_partial);
+    }
+
+    #[test]
+    fn degradation_metrics_are_registered() {
+        let ps = setup();
+        let registry = MetricsRegistry::new();
+        let clock = Arc::new(ManualClock::new());
+        let fe = engine(&ps)
+            .with_obs(&registry, clock)
+            .with_degradation(
+                DegradationConfig::degraded()
+                    .with_retry(RetryPolicy::none())
+                    .with_breaker(BreakerConfig { failure_threshold: 1, cooldown_ms: 1_000 }),
+            )
+            .with_faults(FaultSource::new().dead("orders_docs"));
+        let q = parse_query("select customer from orders").unwrap();
+        let (_, stats) = fe.execute(&q, true).unwrap();
+        assert!(stats.completeness.is_partial);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("lake_query_partial_total"), 1);
+        assert_eq!(snap.counter_value("lake_query_source_skipped_total"), 1);
+        // The dead source's breaker gauge reads Open (1).
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|(id, _)| {
+                id.name == "lake_query_breaker_state"
+                    && id.labels.iter().any(|(k, v)| k == "source" && v == "orders_docs")
+            })
+            .map(|(_, v)| *v);
+        assert_eq!(gauge, Some(1));
+        // Second query: the open breaker denies without a fetch.
+        let (_, stats2) = fe.execute(&q, true).unwrap();
+        assert_eq!(stats2.subqueries, 2, "breaker-denied source issues no subquery");
+        assert_eq!(stats2.completeness.skipped_for(SkipReason::BreakerOpen), 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("lake_query_source_skipped_total"), 2);
     }
 }

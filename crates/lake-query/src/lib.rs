@@ -16,13 +16,24 @@
 //!   (Juneau-style).
 //! * [`srql`] — Aurum's discovery-primitive query language: composable
 //!   primitives over the EKG with re-rankable results.
+//! * [`degrade`] / [`fault`] — graceful degradation for the mediator:
+//!   per-query deadlines, per-backend circuit breakers, partial-result
+//!   completeness reporting, and a seeded per-source fault injector that
+//!   makes every degradation path deterministically testable.
 
 pub mod ast;
 pub mod browse;
+pub mod degrade;
 pub mod explore;
+pub mod fault;
 pub mod fulltext;
 pub mod federated;
 pub mod srql;
 
 pub use ast::{parse_query, Query};
+pub use degrade::{
+    BreakerConfig, BreakerState, CircuitBreaker, Completeness, DegradationConfig, QueryBudget,
+    SkipReason, SkippedSource,
+};
+pub use fault::{FaultSource, FaultSourceStats};
 pub use federated::FederatedEngine;

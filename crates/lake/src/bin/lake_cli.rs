@@ -174,7 +174,22 @@ fn run_command(dl: &mut DataLake, cmd: Command) -> Result<String, String> {
             let q = lake_query::parse_query(&sql).map_err(e)?;
             let fe = dl.federated();
             let (t, stats) = fe.execute(&q, true).map_err(e)?;
-            Ok(format!("{t}({} rows moved from sources)", stats.rows_moved))
+            let mut out = format!("{t}({} rows moved from sources)", stats.rows_moved);
+            if stats.completeness.is_partial {
+                out.push_str(&format!(
+                    "\nWARNING: partial result — {}",
+                    stats.completeness.render()
+                ));
+                for (source, state, fails) in fe.breaker_status() {
+                    if state != lake_query::BreakerState::Closed {
+                        out.push_str(&format!(
+                            "\n  breaker {source}: {} ({fails} consecutive failures)",
+                            state.name()
+                        ));
+                    }
+                }
+            }
+            Ok(out)
         }
         Command::Promote(raw) => {
             let id = lake_core::DatasetId(raw);

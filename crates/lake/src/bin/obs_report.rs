@@ -106,14 +106,55 @@ fn main() {
     if let Ok(q) = lake_query::parse_query("select city, n from orders") {
         let _ = fe.execute(&q, true);
     }
+
+    // Degraded federated query: the document source is dead, so the
+    // mediator skips it, reports a partial answer, and trips the breaker
+    // — populating the lake_query_source_skipped_total / partial /
+    // breaker-state series in the report.
+    let cols2: BTreeMap<String, String> =
+        [("city".to_string(), "city".to_string()), ("n".to_string(), "n".to_string())].into();
+    let mut dfe = FederatedEngine::new(&ps)
+        .with_obs(&registry, clock.clone())
+        .with_degradation(lake_query::DegradationConfig::degraded())
+        .with_faults(lake_query::FaultSource::new().dead("orders_docs"));
+    dfe.register(
+        "orders",
+        vec![
+            SourceBinding { store: StoreKind::Relational, location: "orders".into(), columns: cols2.clone() },
+            SourceBinding { store: StoreKind::Document, location: "orders_docs".into(), columns: cols2 },
+        ],
+    );
+    let mut breaker_lines = Vec::new();
+    if let Ok(q) = lake_query::parse_query("select city, n from orders") {
+        // Three failures reach the default breaker threshold, so the
+        // report shows an Open breaker gauge, not just skip counters.
+        for _ in 0..3 {
+            if let Ok((_, stats)) = dfe.execute(&q, true) {
+                events.record(
+                    Level::Warn,
+                    "obs_report",
+                    &format!("degraded query: {}", stats.completeness.render()),
+                );
+            }
+        }
+        for (source, state, fails) in dfe.breaker_status() {
+            breaker_lines
+                .push(format!("breaker {source}: {} ({fails} consecutive failures)", state.name()));
+        }
+    }
     events.record(Level::Info, "obs_report", "workload complete");
 
     // Report.
     let snap = registry.snapshot();
     if json {
+        // JSON mode stays machine-parseable: breaker status is already in
+        // the lake_query_breaker_state gauges.
         println!("{}", lake_obs::export::json_text(&snap));
     } else {
         print!("{}", lake_obs::export::prometheus_text(&snap));
+        for line in &breaker_lines {
+            println!("# {line}");
+        }
     }
     if spans {
         println!("# --- spans ---");

@@ -268,7 +268,12 @@ impl DataLake {
 
     /// A federated engine with every relational table registered as its
     /// own mediated table (identity mappings); callers add richer
-    /// mediations on top. Executions record into [`DataLake::metrics`].
+    /// mediations on top. Executions record into [`DataLake::metrics`]
+    /// and run in *degraded* mode by default: a failing source is
+    /// skipped, retried under the default policy, and reported in
+    /// `ExecStats::completeness` instead of failing the whole query.
+    /// Chain [`FederatedEngine::with_degradation`] with
+    /// [`lake_query::DegradationConfig::strict`] to restore fail-fast.
     pub fn federated(&self) -> FederatedEngine<'_> {
         let mut fe = FederatedEngine::new(&self.store);
         for name in self.store.relational.table_names() {
@@ -285,6 +290,7 @@ impl DataLake {
             }
         }
         fe.with_obs(&self.metrics, Arc::new(SystemClock))
+            .with_degradation(lake_query::DegradationConfig::degraded())
     }
 
     /// The browse card for a dataset (Constance's incremental exploration,

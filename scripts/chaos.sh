@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
 # Chaos gate: scripted fault-injection scenarios against the lakehouse
-# ACID protocol (crates/lake-house/tests/chaos.rs), plus the fault-store
-# and retry-policy unit suites they build on.
+# ACID protocol (crates/lake-house/tests/chaos.rs) and the federated
+# mediator's degradation ladder (crates/lake-query/tests/chaos.rs),
+# plus the fault-store, fault-source, retry-policy, and circuit-breaker
+# unit suites they build on.
 #
 # Every seeded scenario replays under the three fixed seeds compiled
-# into the suite — 7, 42, 1337 — and asserts determinism by running the
-# same plan twice and comparing backoff schedules and fault stats, so a
-# pass here certifies the whole fault model is reproducible, not just
-# that it passed once.
+# into the suites — 7, 42, 1337 — and asserts determinism by running the
+# same plan twice and comparing backoff schedules, breaker trajectories,
+# and fault stats, so a pass here certifies the whole fault model is
+# reproducible, not just that it passed once.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cargo test -q -p lake-house --test chaos
+cargo test -q -p lake-query --test chaos
 cargo test -q -p lake-store fault::
 cargo test -q -p lake-core retry::
+cargo test -q -p lake-core --test retry_prop
+cargo test -q -p lake-query degrade::
+cargo test -q -p lake-query fault::
 cargo test -q -p lake-house recovery::

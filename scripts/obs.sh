@@ -33,6 +33,8 @@ require_nonzero lake_house_commit_total
 require_nonzero lake_house_retry_retries_total
 require_nonzero lake_ingest_rows_total
 require_nonzero lake_query_execute_total
+require_nonzero lake_query_partial_total
+require_nonzero lake_query_source_skipped_total
 
 # Latency histograms must have observations, not just registrations.
 grep -qE '^lake_store_put_seconds_count(\{[^}]*\})? [1-9]' <<<"$report" || {

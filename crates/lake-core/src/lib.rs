@@ -15,6 +15,7 @@ pub mod error;
 pub mod graph;
 pub mod ids;
 pub mod json;
+pub mod par;
 pub mod retry;
 pub mod schema;
 pub mod stats;
@@ -27,6 +28,7 @@ pub use error::{LakeError, Result};
 pub use graph::{EdgeId, NodeId, PropertyGraph};
 pub use ids::DatasetId;
 pub use json::Json;
+pub use par::Parallelism;
 pub use retry::{Clock, ManualClock, RetryPolicy, RetryStats, SystemClock};
 pub use schema::{Field, Schema};
 pub use table::{Column, Row, Table};

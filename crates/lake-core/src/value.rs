@@ -267,7 +267,10 @@ fn total_f64_cmp(a: f64, b: f64) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
-        (false, false) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+        // `total_cmp` agrees with `partial_cmp` on non-NaN values except
+        // ±0.0, which must stay Equal here (domain dedup relies on it).
+        (false, false) if a == b => Ordering::Equal,
+        (false, false) => a.total_cmp(&b),
     }
 }
 

@@ -22,6 +22,7 @@
 
 use crate::corpus::{ColumnRef, TableCorpus, SIGNATURE_LEN};
 use crate::{DiscoverySystem, SystemInfo};
+use lake_core::par::{self, Parallelism};
 use lake_index::lsh::LshIndex;
 use lake_index::tfidf::TfIdfCorpus;
 
@@ -72,6 +73,8 @@ impl Default for AurumConfig {
 pub struct Aurum {
     /// Configuration.
     pub config: AurumConfig,
+    /// Worker count for EKG construction in [`DiscoverySystem::build`].
+    pub par: Parallelism,
     edges: Vec<EkgEdge>,
     adjacency: Vec<Vec<usize>>, // profile idx → edge indexes
     lsh: Option<LshIndex>,
@@ -138,7 +141,7 @@ impl Aurum {
                 (corpus.profiles()[other].at, e.weight)
             })
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -213,7 +216,15 @@ impl Aurum {
 
     fn rebuild_profile_entry(&mut self, corpus: &TableCorpus, pi: usize) {
         if let Some(lsh) = &mut self.lsh {
-            lsh.insert(pi, corpus.profiles()[pi].signature.clone());
+            let p = &corpus.profiles()[pi];
+            if p.signature.is_empty_domain() {
+                // A column that became all-null leaves the index: its
+                // sentinel signature would collide with every other empty
+                // column in every band.
+                lsh.remove(pi);
+            } else {
+                lsh.insert(pi, p.signature.clone());
+            }
         }
     }
 
@@ -287,13 +298,24 @@ impl DiscoverySystem for Aurum {
         self.adjacency = vec![Vec::new(); profiles.len()];
         self.pending_changes = vec![0.0; profiles.len()];
 
-        // Content edges via LSH candidate pairs (near-linear).
+        // Content edges via LSH candidate pairs (near-linear). Band
+        // hashing fans out over workers; empty-domain (all-null) columns
+        // are never indexed — their sentinel signatures collide with each
+        // other in every band and would fabricate cliques.
         let mut lsh = LshIndex::new(SIGNATURE_LEN / 4, 4);
-        for (i, p) in profiles.iter().enumerate() {
-            lsh.insert(i, p.signature.clone());
-        }
-        for (a, b) in lsh.candidate_pairs() {
-            let w = profiles[a].jaccard_est(&profiles[b]);
+        let items: Vec<(usize, lake_index::minhash::MinHash)> = profiles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.signature.is_empty_domain())
+            .map(|(i, p)| (i, p.signature.clone()))
+            .collect();
+        lsh.insert_batch(items, self.par);
+        // Jaccard estimation per candidate pair is pure; edges are added
+        // serially in pair order afterwards.
+        let pairs = lsh.candidate_pairs();
+        let weights: Vec<f64> =
+            par::map(self.par, &pairs, |&(a, b)| profiles[a].jaccard_est(&profiles[b]));
+        for (&(a, b), &w) in pairs.iter().zip(&weights) {
             if w >= self.config.content_threshold {
                 self.add_edge(a, b, w, EdgeKind::Content);
                 // PK-FK: one side a key candidate, other side repeating.
@@ -304,19 +326,24 @@ impl DiscoverySystem for Aurum {
             }
         }
 
-        // Name edges via TF-IDF cosine over attribute names.
+        // Name edges via TF-IDF cosine over attribute names: vectorize and
+        // score each row in parallel, then add edges serially in row order.
         let docs: Vec<&[String]> = profiles.iter().map(|p| p.name_tokens.as_slice()).collect();
         let model = TfIdfCorpus::fit(docs);
-        let vecs: Vec<_> = profiles.iter().map(|p| model.vectorize(&p.name_tokens)).collect();
-        for a in 0..profiles.len() {
-            for b in a + 1..profiles.len() {
-                if profiles[a].at.table == profiles[b].at.table {
-                    continue;
-                }
-                let w = lake_index::tfidf::sparse_cosine(&vecs[a], &vecs[b]);
-                if w >= self.config.name_threshold {
-                    self.add_edge(a, b, w, EdgeKind::Name);
-                }
+        let vecs: Vec<_> = par::map(self.par, profiles, |p| model.vectorize(&p.name_tokens));
+        let name_rows: Vec<Vec<(usize, f64)>> =
+            par::map_range(self.par, 0..profiles.len(), |a| {
+                (a + 1..profiles.len())
+                    .filter(|&b| profiles[a].at.table != profiles[b].at.table)
+                    .filter_map(|b| {
+                        let w = lake_index::tfidf::sparse_cosine(&vecs[a], &vecs[b]);
+                        (w >= self.config.name_threshold).then_some((b, w))
+                    })
+                    .collect()
+            });
+        for (a, row) in name_rows.into_iter().enumerate() {
+            for (b, w) in row {
+                self.add_edge(a, b, w, EdgeKind::Name);
             }
         }
         self.lsh = Some(lsh);
@@ -459,6 +486,64 @@ mod tests {
             sim_edges,
             aurum.edges().iter().filter(|e| e.kind == EdgeKind::Content).count()
         );
+    }
+
+    #[test]
+    fn all_null_columns_get_no_content_edges() {
+        // Regression: two all-null columns produced empty-domain MinHash
+        // signatures (every position u64::MAX), collided in every LSH
+        // band, and were reported content-similar with Jaccard 1.0.
+        use lake_core::{Table, Value};
+        let t1 = Table::from_rows(
+            "left",
+            &["payload", "always_null"],
+            vec![
+                vec![Value::str("a"), Value::Null],
+                vec![Value::str("b"), Value::Null],
+            ],
+        )
+        .unwrap();
+        let t2 = Table::from_rows(
+            "right",
+            &["payload", "also_null"],
+            vec![
+                vec![Value::str("x"), Value::Null],
+                vec![Value::str("y"), Value::Null],
+            ],
+        )
+        .unwrap();
+        let corpus = TableCorpus::new(vec![t1, t2]);
+        let mut aurum = Aurum::default();
+        aurum.build(&corpus);
+        let null_a = ColumnRef { table: 0, column: 1 };
+        let null_b = ColumnRef { table: 1, column: 1 };
+        assert!(aurum.similar_content_to(&corpus, null_a).is_empty());
+        assert!(aurum.similar_content_to(&corpus, null_b).is_empty());
+        assert!(aurum.pkfk_of(&corpus, null_a).is_empty());
+        // No content/PK-FK edge anywhere touches an empty-domain profile.
+        let (pa, pb) = (
+            corpus.profile_index(null_a).unwrap(),
+            corpus.profile_index(null_b).unwrap(),
+        );
+        for e in aurum.edges().iter().filter(|e| e.kind != EdgeKind::Name) {
+            assert!(![e.from, e.to].contains(&pa));
+            assert!(![e.from, e.to].contains(&pb));
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_build() {
+        let lake = generate_lake(&LakeGenConfig::default());
+        let corpus = TableCorpus::new(lake.tables);
+        let mut seq = Aurum { par: Parallelism::sequential(), ..Aurum::default() };
+        seq.build(&corpus);
+        let mut par4 = Aurum { par: Parallelism::fixed(4), ..Aurum::default() };
+        par4.build(&corpus);
+        assert_eq!(seq.edges().len(), par4.edges().len());
+        for (a, b) in seq.edges().iter().zip(par4.edges()) {
+            assert_eq!((a.from, a.to, a.kind), (b.from, b.to, b.kind));
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "edge weights must be bit-identical");
+        }
     }
 
     #[test]

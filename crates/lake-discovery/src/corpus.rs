@@ -6,10 +6,11 @@
 //! Individual systems combine these raw profiles in their own ways
 //! (Table 3's "relatedness criteria").
 
+use lake_core::par::{self, Parallelism};
 use lake_core::{DataType, Table};
 use lake_index::minhash::{MinHash, MinHasher};
 use lake_index::tfidf::tokenize_identifier;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// A column addressed by table and column index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -21,7 +22,7 @@ pub struct ColumnRef {
 }
 
 /// A profiled column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnProfile {
     /// Where the column lives.
     pub at: ColumnRef,
@@ -78,33 +79,49 @@ pub const SIGNATURE_SEED: u64 = 0xDA7A_1A6E;
 pub struct TableCorpus {
     tables: Vec<Table>,
     profiles: Vec<ColumnProfile>,
+    /// `ColumnRef` → index into `profiles`, for O(1) lookup.
+    by_ref: HashMap<ColumnRef, usize>,
     hasher: MinHasher,
 }
 
 impl TableCorpus {
-    /// Profile a set of tables.
+    /// Profile a set of tables with the default (auto) worker count.
     pub fn new(tables: Vec<Table>) -> TableCorpus {
+        TableCorpus::with_parallelism(tables, Parallelism::auto())
+    }
+
+    /// Profile a set of tables, fanning per-column profiling out over
+    /// `par` workers. Each column's profile is a pure function of its
+    /// table, so the result — including profile order, which stays
+    /// `(table, column)` — is identical to sequential profiling.
+    pub fn with_parallelism(tables: Vec<Table>, par: Parallelism) -> TableCorpus {
         let hasher = MinHasher::new(SIGNATURE_LEN, SIGNATURE_SEED);
-        let mut profiles = Vec::new();
-        for (ti, t) in tables.iter().enumerate() {
-            for (ci, col) in t.columns().iter().enumerate() {
-                let domain = col.text_domain();
-                let signature = hasher.signature(domain.iter().map(String::as_str));
-                profiles.push(ColumnProfile {
-                    at: ColumnRef { table: ti, column: ci },
-                    name: col.name.clone(),
-                    name_tokens: tokenize_identifier(&col.name),
-                    dtype: col.inferred_type(),
-                    numeric: col.numeric_values(),
-                    nulls: col.null_count(),
-                    rows: col.len(),
-                    unique: col.is_unique(),
-                    domain,
-                    signature,
-                });
+        let refs: Vec<ColumnRef> = tables
+            .iter()
+            .enumerate()
+            .flat_map(|(ti, t)| {
+                (0..t.columns().len()).map(move |ci| ColumnRef { table: ti, column: ci })
+            })
+            .collect();
+        let profiles: Vec<ColumnProfile> = par::map(par, &refs, |&at| {
+            let col = &tables[at.table].columns()[at.column];
+            let domain = col.text_domain();
+            let signature = hasher.signature(domain.iter().map(String::as_str));
+            ColumnProfile {
+                at,
+                name: col.name.clone(),
+                name_tokens: tokenize_identifier(&col.name),
+                dtype: col.inferred_type(),
+                numeric: col.numeric_values(),
+                nulls: col.null_count(),
+                rows: col.len(),
+                unique: col.is_unique(),
+                domain,
+                signature,
             }
-        }
-        TableCorpus { tables, profiles, hasher }
+        });
+        let by_ref = profiles.iter().enumerate().map(|(i, p)| (p.at, i)).collect();
+        TableCorpus { tables, profiles, by_ref, hasher }
     }
 
     /// The tables.
@@ -132,14 +149,15 @@ impl TableCorpus {
         self.profiles.iter().filter(move |p| p.at.table == table)
     }
 
-    /// Profile of a specific column.
+    /// Profile of a specific column (O(1) map lookup).
     pub fn profile(&self, at: ColumnRef) -> Option<&ColumnProfile> {
-        self.profiles.iter().find(|p| p.at == at)
+        self.profile_index(at).map(|i| &self.profiles[i])
     }
 
-    /// Index of the profile for a column in the flat profile list.
+    /// Index of the profile for a column in the flat profile list
+    /// (O(1) map lookup).
     pub fn profile_index(&self, at: ColumnRef) -> Option<usize> {
-        self.profiles.iter().position(|p| p.at == at)
+        self.by_ref.get(&at).copied()
     }
 
     /// Table index by name.
@@ -176,7 +194,7 @@ impl TableCorpus {
             .enumerate()
             .filter_map(|(t, s)| s.map(|s| (t, s)))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out.truncate(k);
         out
     }
@@ -249,5 +267,46 @@ mod tests {
         assert_eq!(c.table_index("none"), None);
         assert_eq!(c.table_profiles(1).count(), 2);
         assert_eq!(c.profile_index(ColumnRef { table: 1, column: 1 }), Some(3));
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_scan() {
+        // The by-ref map must agree with the flat profile list exactly.
+        let c = corpus();
+        for (i, p) in c.profiles().iter().enumerate() {
+            assert_eq!(c.profile_index(p.at), Some(i));
+            assert_eq!(c.profile(p.at), Some(p));
+        }
+        assert_eq!(c.profile(ColumnRef { table: 7, column: 0 }), None);
+        assert_eq!(c.profile_index(ColumnRef { table: 0, column: 9 }), None);
+    }
+
+    #[test]
+    fn parallel_profiling_matches_sequential() {
+        let tables = || {
+            vec![
+                Table::from_rows(
+                    "orders",
+                    &["customer_id", "total"],
+                    vec![
+                        vec![Value::str("c1"), Value::Float(10.0)],
+                        vec![Value::str("c2"), Value::Float(20.0)],
+                    ],
+                )
+                .unwrap(),
+                Table::from_rows(
+                    "customers",
+                    &["customer_id", "city"],
+                    vec![
+                        vec![Value::str("c1"), Value::str("delft")],
+                        vec![Value::str("c3"), Value::Null],
+                    ],
+                )
+                .unwrap(),
+            ]
+        };
+        let seq = TableCorpus::with_parallelism(tables(), Parallelism::sequential());
+        let par4 = TableCorpus::with_parallelism(tables(), Parallelism::fixed(4));
+        assert_eq!(seq.profiles(), par4.profiles());
     }
 }

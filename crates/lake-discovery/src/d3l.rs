@@ -26,6 +26,7 @@
 
 use crate::corpus::{ColumnProfile, TableCorpus};
 use crate::{DiscoverySystem, SystemInfo};
+use lake_core::par::{self, Parallelism};
 use lake_core::stats::cosine;
 use lake_index::embed::HashedNgramEncoder;
 use lake_index::ks::ks_similarity;
@@ -44,6 +45,9 @@ pub const FEATURE_NAMES: [&str; NUM_FEATURES] =
 pub struct D3l {
     /// Feature weights (sum 1); uniform until [`D3l::train_weights`].
     pub weights: [f64; NUM_FEATURES],
+    /// Worker count for embedding construction in
+    /// [`DiscoverySystem::build`].
+    pub par: Parallelism,
     encoder: HashedNgramEncoder,
     embeddings: Vec<Vec<f64>>,
 }
@@ -52,6 +56,7 @@ impl Default for D3l {
     fn default() -> Self {
         D3l {
             weights: [1.0 / NUM_FEATURES as f64; NUM_FEATURES],
+            par: Parallelism::default(),
             encoder: HashedNgramEncoder::default(),
             embeddings: Vec::new(),
         }
@@ -147,11 +152,12 @@ impl DiscoverySystem for D3l {
     }
 
     fn build(&mut self, corpus: &TableCorpus) {
-        self.embeddings = corpus
-            .profiles()
-            .iter()
-            .map(|p| self.encoder.encode_bag(p.domain.iter().map(String::as_str).take(64)))
-            .collect();
+        // Each bag embedding depends only on its own column's domain, so
+        // encoding fans out over workers; `par::map` keeps profile order.
+        let encoder = &self.encoder;
+        self.embeddings = par::map(self.par, corpus.profiles(), |p| {
+            encoder.encode_bag(p.domain.iter().map(String::as_str).take(64))
+        });
     }
 
     fn top_k_related(&self, corpus: &TableCorpus, query: usize, k: usize) -> Vec<(usize, f64)> {

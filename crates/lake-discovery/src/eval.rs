@@ -4,6 +4,7 @@
 
 use crate::corpus::TableCorpus;
 use crate::DiscoverySystem;
+use lake_core::par::{self, Parallelism};
 use lake_core::retry::{Clock, SystemClock};
 use lake_core::synth::GroundTruth;
 
@@ -38,6 +39,7 @@ pub fn evaluate(
 
 /// [`evaluate`] with an injectable time source, so the timed columns are
 /// testable under a `ManualClock` and never read the wall clock directly.
+/// Queries fan out over the default (auto) worker count.
 pub fn evaluate_with_clock(
     system: &mut dyn DiscoverySystem,
     corpus: &TableCorpus,
@@ -45,6 +47,52 @@ pub fn evaluate_with_clock(
     k: usize,
     clock: &dyn Clock,
 ) -> EvalReport {
+    evaluate_with_options(system, corpus, truth, k, clock, Parallelism::auto())
+}
+
+/// Tables related to query `q` under the ground truth — the answer set.
+fn relevant_names<'a>(corpus: &'a TableCorpus, truth: &GroundTruth, q: usize) -> Vec<&'a str> {
+    let qname = &corpus.tables()[q].name;
+    corpus
+        .tables()
+        .iter()
+        .map(|t| t.name.as_str())
+        .filter(|n| *n != qname && truth.tables_related(qname, n))
+        .collect()
+}
+
+/// Precision@k and recall@k of one answer list against its answer set.
+fn score_top(
+    corpus: &TableCorpus,
+    relevant: &[&str],
+    top: &[(usize, f64)],
+    k: usize,
+) -> (f64, f64) {
+    let hits = top
+        .iter()
+        .filter(|(t, _)| relevant.contains(&corpus.tables()[*t].name.as_str()))
+        .count();
+    let denom_p = top.len().min(k).max(1);
+    (hits as f64 / denom_p as f64, hits as f64 / relevant.len().min(k) as f64)
+}
+
+/// [`evaluate_with_clock`] with an explicit worker count for the query
+/// fan-out. Per-query scores are folded back *in query order*, so
+/// precision/recall are bit-identical for every worker count.
+///
+/// A virtual clock ([`Clock::is_virtual`], e.g. `ManualClock`) forces the
+/// sequential path: injected-time tests depend on an exact interleaving
+/// of clock reads and queries, which a parallel fan-out (timed once
+/// around the whole batch) would not reproduce.
+pub fn evaluate_with_options(
+    system: &mut dyn DiscoverySystem,
+    corpus: &TableCorpus,
+    truth: &GroundTruth,
+    k: usize,
+    clock: &dyn Clock,
+    par: Parallelism,
+) -> EvalReport {
+    let par = if clock.is_virtual() { Parallelism::sequential() } else { par };
     let t0 = clock.now_micros();
     system.build(corpus);
     let build_ms = clock.now_micros().saturating_sub(t0) as f64 / 1e3;
@@ -54,29 +102,40 @@ pub fn evaluate_with_clock(
     let mut queries = 0usize;
     let mut query_time = 0.0f64;
 
-    for q in 0..corpus.len() {
-        let qname = &corpus.tables()[q].name;
-        let relevant: Vec<&str> = corpus
-            .tables()
-            .iter()
-            .map(|t| t.name.as_str())
-            .filter(|n| *n != qname && truth.tables_related(qname, n))
-            .collect();
-        if relevant.is_empty() {
-            continue; // noise table: no defined answer set
+    if par.is_sequential() {
+        for q in 0..corpus.len() {
+            let relevant = relevant_names(corpus, truth, q);
+            if relevant.is_empty() {
+                continue; // noise table: no defined answer set
+            }
+            let tq = clock.now_micros();
+            let top = system.top_k_related(corpus, q, k);
+            query_time += clock.now_micros().saturating_sub(tq) as f64;
+            queries += 1;
+            let (p, r) = score_top(corpus, &relevant, &top, k);
+            precision_sum += p;
+            recall_sum += r;
         }
+    } else {
+        // The clock stays on this thread (it is not required to be
+        // `Sync`): the whole fan-out is timed once and averaged.
+        let sys: &dyn DiscoverySystem = system;
         let tq = clock.now_micros();
-        let top = system.top_k_related(corpus, q, k);
-        query_time += clock.now_micros().saturating_sub(tq) as f64;
-        queries += 1;
-
-        let hits = top
-            .iter()
-            .filter(|(t, _)| relevant.contains(&corpus.tables()[*t].name.as_str()))
-            .count();
-        let denom_p = top.len().min(k).max(1);
-        precision_sum += hits as f64 / denom_p as f64;
-        recall_sum += hits as f64 / relevant.len().min(k) as f64;
+        let scores: Vec<Option<(f64, f64)>> = par::map_range(par, 0..corpus.len(), |q| {
+            let relevant = relevant_names(corpus, truth, q);
+            if relevant.is_empty() {
+                return None;
+            }
+            let top = sys.top_k_related(corpus, q, k);
+            Some(score_top(corpus, &relevant, &top, k))
+        });
+        let total = clock.now_micros().saturating_sub(tq) as f64;
+        for (p, r) in scores.into_iter().flatten() {
+            precision_sum += p;
+            recall_sum += r;
+            queries += 1;
+        }
+        query_time = total;
     }
 
     EvalReport {
@@ -143,6 +202,33 @@ mod tests {
         let r0 = evaluate(&mut mute, &corpus, &lake.truth, 2);
         assert_eq!(r0.precision_at_k, 0.0);
         assert_eq!(r0.recall_at_k, 0.0);
+    }
+
+    #[test]
+    fn parallel_fanout_scores_match_sequential() {
+        let lake = lake_core::synth::generate_lake(&lake_core::synth::LakeGenConfig::default());
+        let corpus = TableCorpus::new(lake.tables.clone());
+        let mut a = Oracle { truth: lake.truth.clone() };
+        let seq = evaluate_with_options(
+            &mut a,
+            &corpus,
+            &lake.truth,
+            2,
+            &SystemClock,
+            Parallelism::sequential(),
+        );
+        let mut b = Oracle { truth: lake.truth.clone() };
+        let par4 = evaluate_with_options(
+            &mut b,
+            &corpus,
+            &lake.truth,
+            2,
+            &SystemClock,
+            Parallelism::fixed(4),
+        );
+        assert_eq!(seq.precision_at_k.to_bits(), par4.precision_at_k.to_bits());
+        assert_eq!(seq.recall_at_k.to_bits(), par4.recall_at_k.to_bits());
+        assert_eq!(seq.queries, par4.queries);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::corpus::TableCorpus;
 use crate::{DiscoverySystem, SystemInfo};
+use lake_core::par::{self, Parallelism};
 use lake_index::inverted::InvertedIndex;
 use std::collections::HashMap;
 
@@ -40,6 +41,8 @@ pub struct JosieStats {
 #[derive(Debug, Default)]
 pub struct Josie {
     index: InvertedIndex,
+    /// Worker count for posting construction in [`DiscoverySystem::build`].
+    pub par: Parallelism,
 }
 
 impl Josie {
@@ -64,6 +67,12 @@ impl Josie {
         exclude: &[usize],
     ) -> (Vec<(usize, usize)>, JosieStats) {
         let mut stats = JosieStats::default();
+        if k == 0 {
+            // Guard: the kth-best closure below indexes `results[k - 1]`,
+            // which underflows for k == 0 — an empty answer is the only
+            // consistent result for "top zero".
+            return (Vec::new(), stats);
+        }
         let mut q: Vec<String> = query.to_vec();
         q.sort();
         q.dedup();
@@ -221,9 +230,22 @@ impl DiscoverySystem for Josie {
     }
 
     fn build(&mut self, corpus: &TableCorpus) {
+        // Shard posting construction over contiguous ascending profile-id
+        // ranges; merging shards back in shard order reproduces the index a
+        // sequential insert loop would build (see `InvertedIndex::merge`).
+        let profiles = corpus.profiles();
+        let pieces = self.par.workers() * 4;
+        let shards = par::shards(profiles.len(), pieces);
+        let built: Vec<InvertedIndex> = par::map(self.par, &shards, |&(lo, hi)| {
+            let mut shard = InvertedIndex::new();
+            for pi in lo..hi {
+                shard.insert(pi, profiles[pi].domain.iter().cloned());
+            }
+            shard
+        });
         self.index = InvertedIndex::new();
-        for (pi, p) in corpus.profiles().iter().enumerate() {
-            self.index.insert(pi, p.domain.iter().cloned());
+        for shard in built {
+            self.index.merge(shard);
         }
     }
 
@@ -324,6 +346,38 @@ mod tests {
             stats.postings_read,
             baseline_work
         );
+    }
+
+    #[test]
+    fn top_zero_returns_empty_instead_of_panicking() {
+        // Regression: k == 0 made the kth-best closure index
+        // `results[k - 1]`, underflowing the subtraction and panicking.
+        let j = small_index();
+        let (top, stats) = j.top_k_overlap(&toks(&["a", "b", "c"]), 0, &[]);
+        assert!(top.is_empty());
+        assert_eq!(stats, JosieStats::default());
+        let (base, _) = j.top_k_baseline(&toks(&["a", "b", "c"]), 0, &[]);
+        assert!(base.is_empty());
+        // And with exclusions / unknown tokens for good measure.
+        assert!(j.top_k_overlap(&toks(&["nope"]), 0, &[0]).0.is_empty());
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_build() {
+        let lake = generate_lake(&LakeGenConfig::default());
+        let corpus = TableCorpus::new(lake.tables);
+        let mut seq = Josie { par: Parallelism::sequential(), ..Josie::default() };
+        seq.build(&corpus);
+        let mut par4 = Josie { par: Parallelism::fixed(4), ..Josie::default() };
+        par4.build(&corpus);
+        assert_eq!(seq.index.num_sets(), par4.index.num_sets());
+        assert_eq!(seq.index.num_tokens(), par4.index.num_tokens());
+        for pi in 0..corpus.profiles().len() {
+            assert_eq!(seq.index.set_tokens(pi), par4.index.set_tokens(pi));
+            for tok in seq.index.set_tokens(pi).to_vec() {
+                assert_eq!(seq.index.posting(&tok), par4.index.posting(&tok));
+            }
+        }
     }
 
     #[test]

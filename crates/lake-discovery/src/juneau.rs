@@ -249,7 +249,7 @@ impl DiscoverySystem for Juneau {
             .map(|t| (t, self.table_score(corpus, query, t)))
             .filter(|&(_, s)| s > 0.0)
             .collect();
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scores.truncate(k);
         scores
     }

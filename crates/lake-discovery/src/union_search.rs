@@ -119,7 +119,7 @@ impl UnionSearch {
                 }
             }
         }
-        edges.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap());
+        edges.sort_by(|x, y| y.2.total_cmp(&x.2));
         let mut used_q = vec![false; qcols.len()];
         let mut used_c = vec![false; ccols.len()];
         let mut pairs = Vec::new();
@@ -148,7 +148,7 @@ impl UnionSearch {
             .map(|t| (t, self.align(corpus, query, t).0))
             .filter(|&(_, s)| s > 0.0)
             .collect();
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scores.truncate(k);
         scores
     }

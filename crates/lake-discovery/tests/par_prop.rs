@@ -1,0 +1,72 @@
+//! Property tests for the determinism contract of the parallel discovery
+//! engine: for *any* synthetic lake and any worker count, a parallel
+//! `TableCorpus` build produces profiles identical to the sequential
+//! build — same order, same signatures, same domains — and the parallel
+//! evaluation fan-out reproduces the sequential precision/recall bits.
+
+use lake_core::par::Parallelism;
+use lake_core::synth::{generate_lake, LakeGenConfig};
+use lake_discovery::eval::evaluate_with_options;
+use lake_discovery::josie::Josie;
+use lake_discovery::TableCorpus;
+use proptest::prelude::*;
+
+fn config(seed: u64, groups: usize, noise: usize, zipf_alpha: f64) -> LakeGenConfig {
+    LakeGenConfig {
+        seed,
+        groups,
+        noise_tables: noise,
+        rows: (20, 40),
+        zipf_alpha,
+        ..LakeGenConfig::default()
+    }
+}
+
+proptest! {
+    // Column profiling is a pure per-column function; fanning it out must
+    // not change a single profile, for any lake shape or worker count.
+    #[test]
+    fn parallel_profiling_matches_sequential(
+        seed in any::<u64>(),
+        groups in 1usize..4,
+        noise in 0usize..4,
+        zipf_alpha in 0.0f64..1.5,
+        workers in 2usize..9,
+    ) {
+        let cfg = config(seed, groups, noise, zipf_alpha);
+        let seq =
+            TableCorpus::with_parallelism(generate_lake(&cfg).tables, Parallelism::sequential());
+        let par =
+            TableCorpus::with_parallelism(generate_lake(&cfg).tables, Parallelism::fixed(workers));
+        prop_assert_eq!(seq.profiles().len(), par.profiles().len());
+        for (a, b) in seq.profiles().iter().zip(par.profiles()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    // End-to-end: building and querying a system with a parallel fan-out
+    // yields bit-identical precision/recall to the sequential path.
+    #[test]
+    fn parallel_evaluation_scores_match_sequential(
+        seed in any::<u64>(),
+        workers in 2usize..7,
+    ) {
+        let cfg = config(seed, 2, 2, 0.8);
+        let lake = generate_lake(&cfg);
+        let corpus = TableCorpus::new(lake.tables);
+        let clock = lake_core::retry::SystemClock;
+        let mut a = Josie::default();
+        a.par = Parallelism::sequential();
+        let seq = evaluate_with_options(
+            &mut a, &corpus, &lake.truth, 2, &clock, Parallelism::sequential(),
+        );
+        let mut b = Josie::default();
+        b.par = Parallelism::fixed(workers);
+        let par = evaluate_with_options(
+            &mut b, &corpus, &lake.truth, 2, &clock, Parallelism::fixed(workers),
+        );
+        prop_assert_eq!(seq.precision_at_k.to_bits(), par.precision_at_k.to_bits());
+        prop_assert_eq!(seq.recall_at_k.to_bits(), par.recall_at_k.to_bits());
+        prop_assert_eq!(seq.queries, par.queries);
+    }
+}

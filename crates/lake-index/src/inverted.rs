@@ -44,6 +44,32 @@ impl InvertedIndex {
         self.sets.insert(id, distinct);
     }
 
+    /// Fold another index into this one (set ids must be disjoint; a
+    /// colliding id keeps `other`'s tokens, mirroring [`InvertedIndex::insert`]
+    /// replacement semantics).
+    ///
+    /// This is the reassembly half of parallel posting construction:
+    /// shards built over *contiguous, ascending* id ranges merge in shard
+    /// order, each posting-list append lands at (or binary-searches to)
+    /// the tail, and the merged index is byte-identical to one built by a
+    /// single sequential insert loop.
+    pub fn merge(&mut self, other: InvertedIndex) {
+        for (id, tokens) in other.sets {
+            if self.sets.contains_key(&id) {
+                self.remove(id);
+            }
+            for tok in &tokens {
+                let list = self.postings.entry(tok.clone()).or_default();
+                match list.binary_search(&id) {
+                    Ok(_) => {}
+                    Err(pos) => list.insert(pos, id),
+                }
+            }
+            self.set_sizes.insert(id, tokens.len());
+            self.sets.insert(id, tokens);
+        }
+    }
+
     /// Remove a set.
     pub fn remove(&mut self, id: usize) {
         let Some(tokens) = self.sets.remove(&id) else { return };
@@ -182,6 +208,46 @@ mod tests {
         assert_eq!(ix.overlap_with(&q, 1), 2);
         assert_eq!(ix.overlap_with(&q, 3), 0);
         assert_eq!(ix.overlap_with(&q, 99), 0);
+    }
+
+    #[test]
+    fn merge_of_contiguous_shards_matches_sequential_build() {
+        let sets: Vec<Vec<String>> = (0..9)
+            .map(|i| toks(&["a", "b"]).into_iter().chain([format!("t{}", i % 4)]).collect())
+            .collect();
+        let mut seq = InvertedIndex::new();
+        for (id, s) in sets.iter().enumerate() {
+            seq.insert(id, s.iter().cloned());
+        }
+        let mut merged = InvertedIndex::new();
+        for (lo, hi) in [(0usize, 4usize), (4, 7), (7, 9)] {
+            let mut shard = InvertedIndex::new();
+            for id in lo..hi {
+                shard.insert(id, sets[id].iter().cloned());
+            }
+            merged.merge(shard);
+        }
+        assert_eq!(merged.num_sets(), seq.num_sets());
+        assert_eq!(merged.num_tokens(), seq.num_tokens());
+        for tok in ["a", "b", "t0", "t1", "t2", "t3"] {
+            assert_eq!(merged.posting(tok), seq.posting(tok), "token {tok}");
+        }
+        for id in 0..9 {
+            assert_eq!(merged.set_tokens(id), seq.set_tokens(id));
+            assert_eq!(merged.set_size(id), seq.set_size(id));
+        }
+    }
+
+    #[test]
+    fn merge_replaces_colliding_ids() {
+        let mut a = InvertedIndex::new();
+        a.insert(1, toks(&["x", "y"]));
+        let mut b = InvertedIndex::new();
+        b.insert(1, toks(&["z"]));
+        a.merge(b);
+        assert_eq!(a.posting("x"), &[] as &[usize]);
+        assert_eq!(a.posting("z"), &[1]);
+        assert_eq!(a.set_size(1), 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! candidate generation — the claim measured by experiment E1.
 
 use crate::minhash::MinHash;
+use lake_core::par::{self, Parallelism};
 use lake_core::value::fnv1a;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
@@ -74,6 +75,33 @@ impl LshIndex {
         self.signatures.insert(id, sig);
     }
 
+    /// Bulk-insert many signatures, computing the band hashes in parallel.
+    ///
+    /// Band hashing (FNV over `rows` values per band, `bands` bands per
+    /// item) dominates index construction; it is a pure function of each
+    /// signature, so it fans out over `par` workers. The bucket mutations
+    /// then replay serially *in input order*, making the resulting index
+    /// identical to one built by calling [`LshIndex::insert`] in a loop —
+    /// including bucket-internal id order, which candidate enumeration
+    /// exposes.
+    pub fn insert_batch(&mut self, items: Vec<(usize, MinHash)>, par: Parallelism) {
+        for (_, sig) in &items {
+            assert_eq!(sig.len(), self.signature_len(), "signature length mismatch");
+        }
+        let hashes: Vec<Vec<u64>> = par::map(par, &items, |(_, sig)| {
+            (0..self.bands).map(|band| self.band_hash(sig, band)).collect()
+        });
+        for ((id, sig), band_hashes) in items.into_iter().zip(hashes) {
+            if self.signatures.contains_key(&id) {
+                self.remove(id);
+            }
+            for (band, h) in band_hashes.into_iter().enumerate() {
+                self.tables[band].entry(h).or_default().push(id);
+            }
+            self.signatures.insert(id, sig);
+        }
+    }
+
     /// Remove an item (Aurum's maintenance path: re-profile on change).
     pub fn remove(&mut self, id: usize) {
         let Some(sig) = self.signatures.remove(&id) else { return };
@@ -111,16 +139,28 @@ impl LshIndex {
 
     /// Candidates with their estimated Jaccard, filtered by `threshold`
     /// and sorted by similarity descending (the verify-after-LSH step).
+    ///
+    /// Empty-domain signatures are filtered here regardless of
+    /// `threshold`: every band of an all-sentinel signature collides with
+    /// every other empty signature, so banding alone would surface
+    /// all-null columns as perfect candidates.
     pub fn query_verified(&self, sig: &MinHash, threshold: f64) -> Vec<(usize, f64)> {
+        if sig.is_empty_domain() {
+            return Vec::new();
+        }
         let mut out: Vec<(usize, f64)> = self
             .query(sig)
             .into_iter()
             .filter_map(|id| {
-                let est = self.signatures[&id].jaccard(sig);
+                let stored = &self.signatures[&id];
+                if stored.is_empty_domain() {
+                    return None;
+                }
+                let est = stored.jaccard(sig);
                 (est >= threshold).then_some((id, est))
             })
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -231,5 +271,48 @@ mod tests {
         let h = MinHasher::new(10, 1);
         let mut idx = LshIndex::new(16, 4);
         idx.insert(0, h.signature(["x"]));
+    }
+
+    #[test]
+    fn empty_domain_signatures_never_verify() {
+        // Regression: two empty-set signatures collide in *every* band
+        // (all positions hold the u64::MAX sentinel), so raw banding
+        // reports them as perfect candidates; verification must drop them.
+        let h = MinHasher::new(64, 1);
+        let mut idx = LshIndex::new(16, 4);
+        let empty = h.signature([]);
+        idx.insert(0, empty.clone());
+        idx.insert(1, empty.clone());
+        idx.insert(2, sig(&h, &set("v", 50)));
+        // Banding alone cannot tell: the empties do collide…
+        assert_eq!(idx.query(&empty), vec![0, 1]);
+        // …but verification filters them, both as query and as candidate.
+        assert!(idx.query_verified(&empty, 0.0).is_empty());
+        assert!(idx
+            .query_verified(&sig(&h, &set("v", 50)), 0.0)
+            .iter()
+            .all(|&(id, est)| id == 2 && est > 0.0));
+    }
+
+    #[test]
+    fn insert_batch_matches_serial_inserts() {
+        let h = MinHasher::new(128, 1);
+        let items: Vec<(usize, MinHash)> =
+            (0..30).map(|i| (i, sig(&h, &set(&format!("p{}", i / 3), 40)))).collect();
+        let mut serial = LshIndex::new(32, 4);
+        for (id, s) in items.clone() {
+            serial.insert(id, s);
+        }
+        for workers in [1, 4] {
+            let mut batch = LshIndex::new(32, 4);
+            batch.insert_batch(items.clone(), lake_core::Parallelism::fixed(workers));
+            assert_eq!(batch.len(), serial.len());
+            assert_eq!(batch.candidate_pairs(), serial.candidate_pairs());
+            for (id, s) in &items {
+                assert_eq!(batch.signature(*id), Some(s));
+                // Bucket-internal order (and thus query output) matches too.
+                assert_eq!(batch.query(s), serial.query(s), "workers={workers} id={id}");
+            }
+        }
     }
 }

@@ -89,11 +89,30 @@ impl MinHash {
         &self.mins
     }
 
+    /// `true` when this is the signature of the *empty set*: no element
+    /// ever lowered any position, so every minimum is still the
+    /// `u64::MAX` sentinel. Empty-domain signatures "agree" with each
+    /// other at every position and would estimate Jaccard 1.0 between
+    /// two all-null columns — callers (and [`MinHash::jaccard`] itself)
+    /// must treat them as similar to nothing.
+    pub fn is_empty_domain(&self) -> bool {
+        self.mins.iter().all(|&m| m == u64::MAX)
+    }
+
     /// Estimated Jaccard similarity with another signature from the same
     /// [`MinHasher`].
+    ///
+    /// The empty set is defined to have similarity 0.0 with everything,
+    /// including another empty set: the raw position-agreement estimator
+    /// would report 1.0 for two empty-domain signatures (all positions
+    /// hold the same `u64::MAX` sentinel), creating spurious cliques of
+    /// all-null columns.
     pub fn jaccard(&self, other: &MinHash) -> f64 {
         assert_eq!(self.mins.len(), other.mins.len(), "signatures from different hashers");
         if self.mins.is_empty() {
+            return 0.0;
+        }
+        if self.is_empty_domain() || other.is_empty_domain() {
             return 0.0;
         }
         let agree = self
@@ -214,7 +233,22 @@ mod tests {
         let h = MinHasher::new(8, 1);
         let e = h.signature([]);
         assert_eq!(e.values(), &[u64::MAX; 8]);
-        // Two empties agree everywhere — degenerate but defined.
-        assert_eq!(e.jaccard(&h.signature([])), 1.0);
+        assert!(e.is_empty_domain());
+        assert!(!h.signature(["x"]).is_empty_domain());
+    }
+
+    #[test]
+    fn empty_domains_are_similar_to_nothing() {
+        // Regression: the raw estimator reported Jaccard 1.0 between two
+        // *empty* column domains (every position agrees on the sentinel),
+        // so all-null columns formed spurious cliques in Aurum's EKG.
+        let h = MinHasher::new(8, 1);
+        let e = h.signature([]);
+        assert_eq!(e.jaccard(&h.signature([])), 0.0);
+        assert_eq!(e.jaccard(&h.signature(["x", "y"])), 0.0);
+        assert_eq!(h.signature(["x", "y"]).jaccard(&e), 0.0);
+        // Containment of/in the empty set follows the same convention.
+        assert_eq!(e.containment_in(&h.signature(["x"]), 0, 1), 0.0);
+        assert_eq!(h.signature(["x"]).containment_in(&e, 1, 0), 0.0);
     }
 }

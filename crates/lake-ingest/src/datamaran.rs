@@ -273,7 +273,7 @@ impl Datamaran {
                 ScoredTemplate { template, coverage, score }
             })
             .collect();
-        scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score));
         scored
     }
 

@@ -73,8 +73,7 @@ pub fn match_schemas(
     }
     scored.sort_by(|x, y| {
         y.score
-            .partial_cmp(&x.score)
-            .unwrap()
+            .total_cmp(&x.score)
             .then(x.left.cmp(&y.left))
             .then(x.right.cmp(&y.right))
     });

@@ -87,7 +87,13 @@ impl Baseline {
              # This file may only SHRINK. Regenerate after a burn-down with:\n\
              #   cargo run -p lake-lint -- fix-baseline\n",
         );
-        for rule in [Rule::Panic, Rule::Indexing, Rule::ErrorDiscipline] {
+        for rule in [
+            Rule::Panic,
+            Rule::Indexing,
+            Rule::ErrorDiscipline,
+            Rule::ClockDiscipline,
+            Rule::FloatOrdering,
+        ] {
             let section: Vec<_> =
                 self.entries.iter().filter(|((r, _), _)| *r == rule).collect();
             if section.is_empty() {

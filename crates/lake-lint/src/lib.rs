@@ -22,6 +22,9 @@
 //!    `lake_core::retry::Clock` so chaos suites and latency histograms
 //!    replay deterministically. Only `impl … Clock for …` blocks touch
 //!    the real clock.
+//! 5. **Float ordering** ([`float`]): `partial_cmp` results must not be
+//!    unwrapped (or `unwrap_or`-defaulted) — score comparators sort with
+//!    `f64::total_cmp`, which cannot panic on NaN and keeps sorts total.
 //!
 //! Existing violations are grandfathered in `lake-lint.baseline.toml`
 //! ([`baseline`]); the baseline can only shrink. Run as:
@@ -34,6 +37,7 @@
 pub mod baseline;
 pub mod clock;
 pub mod errors;
+pub mod float;
 pub mod layering;
 pub mod scanner;
 
@@ -53,6 +57,8 @@ pub enum Rule {
     Layering,
     /// Direct wall/monotonic time read outside a `Clock` implementation.
     ClockDiscipline,
+    /// `partial_cmp` result forced open instead of handled as an `Option`.
+    FloatOrdering,
 }
 
 impl Rule {
@@ -64,6 +70,7 @@ impl Rule {
             Rule::ErrorDiscipline => "error-discipline",
             Rule::Layering => "layering",
             Rule::ClockDiscipline => "clock-discipline",
+            Rule::FloatOrdering => "float-ordering",
         }
     }
 
@@ -75,6 +82,7 @@ impl Rule {
             "error-discipline" => Some(Rule::ErrorDiscipline),
             "layering" => Some(Rule::Layering),
             "clock-discipline" => Some(Rule::ClockDiscipline),
+            "float-ordering" => Some(Rule::FloatOrdering),
             _ => None,
         }
     }
@@ -159,6 +167,7 @@ fn walk_sources(dir: &Path, root: &Path, findings: &mut Vec<Finding>) -> std::io
             findings.extend(errors::scan_source(&rel, &src));
             findings.extend(errors::scan_atomicity(&rel, &src));
             findings.extend(clock::scan_source(&rel, &src));
+            findings.extend(float::scan_source(&rel, &src));
         }
     }
     Ok(())
@@ -236,6 +245,7 @@ mod tests {
             Rule::ErrorDiscipline,
             Rule::Layering,
             Rule::ClockDiscipline,
+            Rule::FloatOrdering,
         ] {
             assert_eq!(Rule::from_key(rule.key()), Some(rule));
         }

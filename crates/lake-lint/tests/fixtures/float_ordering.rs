@@ -1,0 +1,55 @@
+//! Fixture for the float-ordering lint: two violations, several benign
+//! uses. Chains are deliberately broken across lines — the workspace
+//! acceptance gate greps for the comparison call and the forcing method
+//! co-occurring on one line, and this fixture must not trip it.
+
+pub fn rank(mut v: Vec<(usize, f64)>) -> Vec<(usize, f64)> {
+    // Violation 1: unwrap on the next line still anchors here.
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1)
+        .unwrap()
+        .then(a.0.cmp(&b.0)));
+    v
+}
+
+pub fn rank_defaulted(mut v: Vec<f64>) -> Vec<f64> {
+    // Violation 2: the unwrap_or variant silently misorders NaN.
+    v.sort_by(|a, b| a.partial_cmp(b)
+        .unwrap_or(std::cmp::Ordering::Equal));
+    v
+}
+
+pub fn rank_total(mut v: Vec<f64>) -> Vec<f64> {
+    // Benign: the replacement the lint prescribes.
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+pub fn compare(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    // Benign: keeping the Option from partial_cmp is fine.
+    a.partial_cmp(&b)
+}
+
+pub struct Wrapper(pub f64);
+
+impl PartialOrd for Wrapper {
+    // Benign: a PartialOrd implementation defines partial_cmp.
+    fn partial_cmp(&self, other: &Wrapper) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+impl PartialEq for Wrapper {
+    fn eq(&self, other: &Wrapper) -> bool {
+        self.0 == other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Benign: tests may unwrap comparisons.
+    #[test]
+    fn t() {
+        let _ = 1.0f64.partial_cmp(&2.0)
+            .unwrap();
+    }
+}

@@ -70,6 +70,16 @@ fn clock_misuse_fixture_has_expected_findings() {
     assert_eq!((instants, walls), (2, 1), "{findings:#?}");
 }
 
+#[test]
+fn float_ordering_fixture_has_expected_findings() {
+    let src = fixture("float_ordering.rs");
+    let findings = lake_lint::float::scan_source("fixtures/float_ordering.rs", &src);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::FloatOrdering));
+    assert!(findings[0].message.contains("unwrap"), "{}", findings[0].message);
+    assert!(findings[1].message.contains("unwrap_or"), "{}", findings[1].message);
+}
+
 fn workspace_root() -> PathBuf {
     let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
     lake_lint::find_workspace_root(manifest_dir).expect("workspace root above lake-lint")
@@ -106,6 +116,17 @@ fn lake_house_is_panic_free() {
     let house: Vec<_> =
         findings.iter().filter(|f| f.file.starts_with("crates/lake-house/")).collect();
     assert!(house.is_empty(), "{house:#?}");
+}
+
+/// The Table-3 comparator burn-down is complete: no library source
+/// forces a `partial_cmp` result open anywhere in the workspace, so the
+/// float-ordering rule starts (and must stay) at a zero baseline.
+#[test]
+fn workspace_has_no_float_ordering_violations() {
+    let root = workspace_root();
+    let findings = lake_lint::scan_workspace(&root).expect("scan");
+    let float: Vec<_> = findings.iter().filter(|f| f.rule == Rule::FloatOrdering).collect();
+    assert!(float.is_empty(), "{float:#?}");
 }
 
 /// Every first-party manifest respects the tier DAG right now.

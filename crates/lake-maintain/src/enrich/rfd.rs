@@ -77,7 +77,7 @@ pub fn discover_rfds(table: &Table, min_confidence: f64, skip_keys: bool) -> Vec
             }
         }
     }
-    out.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap());
+    out.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
     out
 }
 

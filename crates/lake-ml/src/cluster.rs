@@ -40,7 +40,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMea
             let best = centroids
                 .iter()
                 .enumerate()
-                .min_by(|a, b| euclidean(p, a.1).partial_cmp(&euclidean(p, b.1)).unwrap())
+                .min_by(|a, b| euclidean(p, a.1).total_cmp(&euclidean(p, b.1)))
                 .map(|(c, _)| c)
                 .unwrap();
             if assignment[i] != best {

@@ -73,7 +73,7 @@ pub fn label_propagation(graph: &UndirectedGraph, max_rounds: usize, seed: u64) 
             // Deterministic tie-break: highest weight, then smallest label.
             let best = votes
                 .into_iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
                 .map(|(l, _)| l)
                 .unwrap();
             if labels[node] != best {

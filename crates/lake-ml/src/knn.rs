@@ -46,7 +46,7 @@ impl KnnClassifier {
             .enumerate()
             .map(|(i, s)| (i, euclidean(sample, s), self.labels[i]))
             .collect();
-        d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        d.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         d.truncate(k);
         d
     }
@@ -68,7 +68,7 @@ impl KnnClassifier {
         votes
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
             .map(|(l, _)| l)
     }
 

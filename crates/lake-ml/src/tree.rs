@@ -112,7 +112,7 @@ impl DecisionTree {
         for &f in &order[..limit] {
             // Candidate thresholds: midpoints of sorted distinct values.
             let mut vals: Vec<f64> = idx.iter().map(|&i| samples[i][f]).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            vals.sort_by(|a, b| a.total_cmp(b));
             vals.dedup();
             for w in vals.windows(2) {
                 let thr = (w[0] + w[1]) / 2.0;
@@ -144,7 +144,7 @@ impl DecisionTree {
         let fallback = || {
             for &f in &order[..limit] {
                 let mut vals: Vec<f64> = idx.iter().map(|&i| samples[i][f]).collect();
-                vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                vals.sort_by(|a, b| a.total_cmp(b));
                 vals.dedup();
                 if vals.len() >= 2 {
                     let mid = vals.len() / 2;
@@ -188,7 +188,7 @@ impl DecisionTree {
         let p = self.predict_proba(sample);
         p.iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }

@@ -129,7 +129,7 @@ impl FullTextIndex {
                 hits.push(Hit { dataset: id, score, matched_terms: matched });
             }
         }
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.dataset.cmp(&b.dataset)));
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.dataset.cmp(&b.dataset)));
         hits.truncate(k);
         hits
     }

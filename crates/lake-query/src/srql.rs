@@ -63,7 +63,7 @@ impl ResultSet {
             .iter()
             .filter_map(|(at, m)| m.get(criterion).map(|&s| (*at, s)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 
@@ -74,7 +74,7 @@ impl ResultSet {
             .iter()
             .map(|(at, m)| (*at, m.values().copied().fold(0.0, f64::max)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification chain for the rustlake workspace:
-# build, test, the repo-native static-analysis gate, the
-# fault-injection chaos gate, then the observability smoke gate.
+# build, test, the repo-native static-analysis gate (including the
+# float-ordering rule), the fault-injection chaos gate, the
+# observability smoke gate, then the parallel-determinism gate
+# (e15 asserts parallel results are bit-identical to sequential).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,3 +13,4 @@ cargo test -q
 cargo run -p lake-lint -- check
 ./scripts/chaos.sh
 ./scripts/obs.sh
+cargo run --release -p lake-bench --bin e15_parallel

@@ -32,6 +32,8 @@ impl IdGen {
 
     /// Allocate the next [`DatasetId`].
     pub fn next_dataset(&self) -> DatasetId {
+        // lint: ordering — uniqueness comes from fetch_add's atomicity;
+        // no cross-variable ordering is implied by an id allocation.
         DatasetId(self.next.fetch_add(1, Ordering::Relaxed))
     }
 }

@@ -19,6 +19,7 @@ pub mod par;
 pub mod retry;
 pub mod schema;
 pub mod stats;
+pub mod sync;
 pub mod synth;
 pub mod table;
 pub mod value;
@@ -31,5 +32,6 @@ pub use json::Json;
 pub use par::Parallelism;
 pub use retry::{Clock, ManualClock, RetryPolicy, RetryStats, SystemClock};
 pub use schema::{Field, Schema};
+pub use sync::{OrderedMutex, OrderedRwLock};
 pub use table::{Column, Row, Table};
 pub use value::{DataType, Value};

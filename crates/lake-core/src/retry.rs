@@ -13,9 +13,9 @@
 //! other error kind propagates on first occurrence.
 
 use crate::error::Result;
+use crate::sync::{rank, OrderedMutex};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::sync::Mutex;
 
 /// How to wait between attempts — and what time it is. Injectable so
 /// tests can observe the backoff schedule instead of actually sleeping,
@@ -63,21 +63,30 @@ impl Clock for SystemClock {
 /// advances only through [`Clock::sleep_ms`] or [`ManualClock::advance_micros`],
 /// so span durations and latency histograms built on it are fully
 /// deterministic.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ManualClock {
-    slept: Mutex<Vec<u64>>,
+    slept: OrderedMutex<Vec<u64>>,
     advanced_micros: std::sync::atomic::AtomicU64,
+}
+
+impl Default for ManualClock {
+    fn default() -> ManualClock {
+        ManualClock::new()
+    }
 }
 
 impl ManualClock {
     /// A fresh clock with no recorded sleeps, at virtual time zero.
     pub fn new() -> ManualClock {
-        ManualClock::default()
+        ManualClock {
+            slept: OrderedMutex::new(Vec::new(), rank::CORE_CLOCK, "core.clock.slept"),
+            advanced_micros: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Every backoff requested so far, in order, in milliseconds.
     pub fn sleeps(&self) -> Vec<u64> {
-        self.slept.lock().map(|s| s.clone()).unwrap_or_default()
+        self.slept.lock().clone()
     }
 
     /// Total backoff requested so far, in milliseconds (saturating, like
@@ -89,20 +98,20 @@ impl ManualClock {
     /// Advance virtual time by `us` microseconds without recording a
     /// sleep — lets tests script exact span durations.
     pub fn advance_micros(&self, us: u64) {
+        // lint: ordering — monotonic virtual-time counter, no ordering dependency.
         self.advanced_micros.fetch_add(us, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
 impl Clock for ManualClock {
     fn sleep_ms(&self, ms: u64) {
-        if let Ok(mut s) = self.slept.lock() {
-            s.push(ms);
-        }
+        self.slept.lock().push(ms);
     }
 
     fn now_micros(&self) -> u64 {
         let slept_us = self.total_ms().saturating_mul(1000);
         slept_us.saturating_add(
+            // lint: ordering — monotonic virtual-time counter, no ordering dependency.
             self.advanced_micros.load(std::sync::atomic::Ordering::Relaxed),
         )
     }

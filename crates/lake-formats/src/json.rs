@@ -48,7 +48,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<()> {
+    fn expect_byte(&mut self, b: u8) -> Result<()> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -89,7 +89,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -100,7 +100,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             map.insert(key, val);
@@ -117,7 +117,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -140,7 +140,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -218,7 +218,10 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // The scanned range is ASCII digits/sign/exponent bytes only, but
+        // surface a parse error rather than aborting if that ever drifts.
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| LakeError::parse("non-ascii bytes in number"))?;
         s.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| LakeError::parse(format!("invalid number {s:?}")))

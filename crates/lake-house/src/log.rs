@@ -21,7 +21,7 @@ use lake_core::retry::{retry_with_stats, Clock, RetryPolicy, RetryStats, SystemC
 use lake_core::{Json, LakeError, Result};
 use lake_formats::json as jsonfmt;
 use lake_store::object::ObjectStore;
-use parking_lot::Mutex;
+use lake_core::sync::{rank, OrderedMutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -220,7 +220,7 @@ pub struct TxnLog<'a> {
     pub checkpoint_every: u64,
     policy: RetryPolicy,
     clock: Arc<dyn Clock>,
-    stats: Mutex<RetryStats>,
+    stats: OrderedMutex<RetryStats>,
     obs: Option<HouseMetrics>,
 }
 
@@ -233,7 +233,11 @@ impl<'a> TxnLog<'a> {
             checkpoint_every: 10,
             policy: RetryPolicy::default(),
             clock: Arc::new(SystemClock),
-            stats: Mutex::new(RetryStats::default()),
+            stats: OrderedMutex::new(
+                RetryStats::default(),
+                rank::HOUSE_RETRY_STATS,
+                "house.log.retry_stats",
+            ),
             obs: None,
         }
     }
@@ -274,11 +278,15 @@ impl<'a> TxnLog<'a> {
     /// accumulating into the handle's [`RetryStats`] (and mirroring the
     /// delta into the registry when obs is attached).
     pub(crate) fn run_retry<T>(&self, op: impl FnMut() -> Result<T>) -> Result<T> {
-        let mut stats = self.stats.lock();
-        let before = *stats;
-        let out = retry_with_stats(&self.policy, self.clock.as_ref(), &mut stats, op);
+        // Accumulate into a local block and merge under a short lock
+        // afterwards: holding the stats guard across the retried store
+        // I/O (as this used to) is exactly the guard-across-blocking
+        // hazard lake-lint rule 7 exists to catch.
+        let mut delta = RetryStats::default();
+        let out = retry_with_stats(&self.policy, self.clock.as_ref(), &mut delta, op);
+        self.stats.lock().merge(&delta);
         if let Some(obs) = &self.obs {
-            obs.record_retry_delta(&before, &stats);
+            obs.record_retry_delta(&RetryStats::default(), &delta);
         }
         out
     }

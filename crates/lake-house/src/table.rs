@@ -121,6 +121,7 @@ impl<'a> LakeTable<'a> {
     }
 
     fn new_file_key(&self) -> String {
+        // lint: ordering — name uniqueness rests on fetch_add atomicity.
         let n = self.file_seq.fetch_add(1, Ordering::Relaxed);
         // Thread id keeps concurrent writers from colliding on names.
         let tid = std::thread::current().id();

@@ -16,8 +16,60 @@
 //! baseline diff with the wrong sign.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::{Finding, Rule};
+
+/// A malformed baseline file: the offending line and what is wrong with
+/// it. Typed (rather than a bare `String`) so callers can branch on the
+/// failure and the error-discipline rule holds for the lint itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line in `lake-lint.baseline.toml`.
+    pub line: usize,
+    /// What was wrong.
+    pub kind: BaselineErrorKind,
+}
+
+/// The ways a baseline file can be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineErrorKind {
+    /// `[table]` header naming no known rule — a typo here would
+    /// silently tolerate nothing (or everything).
+    UnknownRule(String),
+    /// A `"file" = count` entry before any `[rule]` table.
+    OrphanEntry,
+    /// A line that is neither a header, a comment, nor `"file" = count`.
+    MalformedEntry,
+    /// The count is not an unsigned integer.
+    BadCount(String),
+    /// A zero-count entry; the line should be deleted instead.
+    ZeroCount(String),
+    /// The same (rule, file) appears twice.
+    DuplicateEntry(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            BaselineErrorKind::UnknownRule(name) => write!(f, "unknown rule [{name}]"),
+            BaselineErrorKind::OrphanEntry => write!(f, "entry before any [rule] table"),
+            BaselineErrorKind::MalformedEntry => write!(f, "expected `\"file\" = count`"),
+            BaselineErrorKind::BadCount(file) => {
+                write!(f, "count for {file} is not a number")
+            }
+            BaselineErrorKind::ZeroCount(file) => {
+                write!(f, "zero-count entry for {file}; delete the line instead")
+            }
+            BaselineErrorKind::DuplicateEntry(file) => {
+                write!(f, "duplicate entry for {file}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
 
 /// Per-(rule, file) tolerated violation counts.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -31,8 +83,8 @@ impl Baseline {
     pub fn from_findings(findings: &[Finding]) -> Baseline {
         let mut entries: BTreeMap<(Rule, String), usize> = BTreeMap::new();
         for f in findings {
-            if f.rule == Rule::Layering {
-                continue; // layering violations are never baselinable
+            if never_baselinable(f.rule) {
+                continue; // layering and lock-order are never baselinable
             }
             *entries.entry((f.rule, f.file.clone())).or_insert(0) += 1;
         }
@@ -41,7 +93,8 @@ impl Baseline {
 
     /// Parse the baseline file format. Unknown rule tables are an error —
     /// a typo silently tolerating nothing (or everything) must not pass.
-    pub fn parse(text: &str) -> Result<Baseline, String> {
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let err = |line: usize, kind: BaselineErrorKind| BaselineError { line: line + 1, kind };
         let mut entries = BTreeMap::new();
         let mut current: Option<Rule> = None;
         for (ln, raw) in text.lines().enumerate() {
@@ -50,31 +103,27 @@ impl Baseline {
                 continue;
             }
             if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-                current = Some(
-                    Rule::from_key(header.trim())
-                        .ok_or_else(|| format!("line {}: unknown rule [{}]", ln + 1, header))?,
-                );
+                current = Some(Rule::from_key(header.trim()).ok_or_else(|| {
+                    err(ln, BaselineErrorKind::UnknownRule(header.to_string()))
+                })?);
                 continue;
             }
             let Some(rule) = current else {
-                return Err(format!("line {}: entry before any [rule] table", ln + 1));
+                return Err(err(ln, BaselineErrorKind::OrphanEntry));
             };
             let (file, count) = line
                 .split_once('=')
-                .ok_or_else(|| format!("line {}: expected `\"file\" = count`", ln + 1))?;
+                .ok_or_else(|| err(ln, BaselineErrorKind::MalformedEntry))?;
             let file = file.trim().trim_matches('"').to_string();
             let count: usize = count
                 .trim()
                 .parse()
-                .map_err(|_| format!("line {}: count is not a number", ln + 1))?;
+                .map_err(|_| err(ln, BaselineErrorKind::BadCount(file.clone())))?;
             if count == 0 {
-                return Err(format!(
-                    "line {}: zero-count entry for {file}; delete the line instead",
-                    ln + 1
-                ));
+                return Err(err(ln, BaselineErrorKind::ZeroCount(file)));
             }
             if entries.insert((rule, file.clone()), count).is_some() {
-                return Err(format!("line {}: duplicate entry for {file}", ln + 1));
+                return Err(err(ln, BaselineErrorKind::DuplicateEntry(file)));
             }
         }
         Ok(Baseline { entries })
@@ -93,6 +142,8 @@ impl Baseline {
             Rule::ErrorDiscipline,
             Rule::ClockDiscipline,
             Rule::FloatOrdering,
+            Rule::GuardBlocking,
+            Rule::AtomicOrdering,
         ] {
             let section: Vec<_> =
                 self.entries.iter().filter(|((r, _), _)| *r == rule).collect();
@@ -125,6 +176,13 @@ pub struct Comparison {
     pub stale: Vec<(Rule, String, usize, usize)>,
 }
 
+/// Rules whose violations always fail, even if someone hand-edits an
+/// entry into the baseline: an inverted tier edge or a lock-order
+/// inversion/cycle is a latent deadlock or architecture break, not debt.
+pub fn never_baselinable(rule: Rule) -> bool {
+    matches!(rule, Rule::Layering | Rule::LockOrder)
+}
+
 /// Compare current `findings` against `baseline`.
 pub fn compare(findings: &[Finding], baseline: &Baseline) -> Comparison {
     let mut by_key: BTreeMap<(Rule, String), Vec<&Finding>> = BTreeMap::new();
@@ -133,8 +191,8 @@ pub fn compare(findings: &[Finding], baseline: &Baseline) -> Comparison {
     }
     let mut cmp = Comparison::default();
     for ((rule, file), fs) in &by_key {
-        if *rule == Rule::Layering {
-            // Never baselinable: always new.
+        if never_baselinable(*rule) {
+            // Always new, even when a baseline entry exists.
             cmp.new_violations.extend(fs.iter().map(|&f| f.clone()));
             continue;
         }
@@ -183,6 +241,19 @@ mod tests {
         assert!(b.entries.is_empty());
         let cmp = compare(&fs, &b);
         assert_eq!(cmp.new_violations.len(), 1);
+    }
+
+    #[test]
+    fn lock_order_is_never_grandfathered_even_when_baselined() {
+        let fs = vec![finding(Rule::LockOrder, "crates/x/src/lib.rs", 7)];
+        // fix-baseline-style regeneration drops it entirely…
+        assert!(Baseline::from_findings(&fs).entries.is_empty());
+        // …and even a hand-edited baseline entry buys no tolerance.
+        let mut forged = Baseline::default();
+        forged.entries.insert((Rule::LockOrder, "crates/x/src/lib.rs".into()), 5);
+        let cmp = compare(&fs, &forged);
+        assert_eq!(cmp.new_violations.len(), 1);
+        assert_eq!(cmp.new_violations[0].rule, Rule::LockOrder);
     }
 
     #[test]

@@ -244,14 +244,42 @@ fn stringly_error(sig: &str) -> Option<&'static str> {
     None
 }
 
-/// Replace comments and string contents with spaces so signature matching
-/// never fires inside them (newlines are preserved for line numbers).
+/// Replace comments, string contents, and char literals with spaces so
+/// token matching never fires inside them (newlines are preserved for
+/// line numbers). Char literals matter twice over: `'"'` would otherwise
+/// open a phantom string that swallows real code, and `'{'` / `'}'`
+/// would corrupt the brace-depth tracking every pass builds on.
 pub(crate) fn strip_comments_and_strings(src: &str) -> String {
     let chars: Vec<char> = src.chars().collect();
     let mut out = String::with_capacity(src.len());
     let mut i = 0;
     while i < chars.len() {
         match chars[i] {
+            // Char literal vs lifetime: a literal is `'x'` or `'\x..'`;
+            // a lifetime (`'a`) has no closing quote right after.
+            '\'' if chars.get(i + 1) == Some(&'\\')
+                || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'')) =>
+            {
+                out.push(' ');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => {
+                            out.push_str("  ");
+                            i += 2;
+                        }
+                        '\'' => {
+                            out.push(' ');
+                            i += 1;
+                            break;
+                        }
+                        c => {
+                            out.push(if c == '\n' { '\n' } else { ' ' });
+                            i += 1;
+                        }
+                    }
+                }
+            }
             '/' if chars.get(i + 1) == Some(&'/') => {
                 while i < chars.len() && chars[i] != '\n' {
                     out.push(' ');

@@ -25,17 +25,30 @@
 //! 5. **Float ordering** ([`float`]): `partial_cmp` results must not be
 //!    unwrapped (or `unwrap_or`-defaulted) — score comparators sort with
 //!    `f64::total_cmp`, which cannot panic on NaN and keeps sorts total.
+//! 6. **Lock ordering** ([`concurrency`]): nested `OrderedMutex`/
+//!    `OrderedRwLock` acquisitions must follow the declared global order
+//!    in `lake_core::sync::rank` with strictly increasing ranks; raw
+//!    locks are implicit leaves. Inversions and cycles can deadlock, so
+//!    — like layering — they are never baselinable.
+//! 7. **Guard across blocking** ([`concurrency`]): no lock guard may be
+//!    held across `ObjectStore` calls, `retry_with_stats`, channel
+//!    send/recv, or `lake_core::par` fan-outs.
+//! 8. **Atomic ordering** ([`concurrency`]): `Ordering::Relaxed` is
+//!    allowed only on declared counter atomics (lake-obs metric cells);
+//!    elsewhere it needs a `// lint: ordering` justification.
 //!
 //! Existing violations are grandfathered in `lake-lint.baseline.toml`
 //! ([`baseline`]); the baseline can only shrink. Run as:
 //!
 //! ```text
 //! cargo run -p lake-lint -- check
+//! cargo run -p lake-lint -- check --json
 //! cargo run -p lake-lint -- fix-baseline
 //! ```
 
 pub mod baseline;
 pub mod clock;
+pub mod concurrency;
 pub mod errors;
 pub mod float;
 pub mod layering;
@@ -59,6 +72,12 @@ pub enum Rule {
     ClockDiscipline,
     /// `partial_cmp` result forced open instead of handled as an `Option`.
     FloatOrdering,
+    /// Nested lock acquisition violating the declared global rank order.
+    LockOrder,
+    /// Lock guard held across a blocking call (I/O, retry, channel, fan-out).
+    GuardBlocking,
+    /// `Ordering::Relaxed` outside declared counter atomics, unjustified.
+    AtomicOrdering,
 }
 
 impl Rule {
@@ -71,6 +90,9 @@ impl Rule {
             Rule::Layering => "layering",
             Rule::ClockDiscipline => "clock-discipline",
             Rule::FloatOrdering => "float-ordering",
+            Rule::LockOrder => "lock-order",
+            Rule::GuardBlocking => "guard-blocking",
+            Rule::AtomicOrdering => "atomic-ordering",
         }
     }
 
@@ -83,6 +105,9 @@ impl Rule {
             "layering" => Some(Rule::Layering),
             "clock-discipline" => Some(Rule::ClockDiscipline),
             "float-ordering" => Some(Rule::FloatOrdering),
+            "lock-order" => Some(Rule::LockOrder),
+            "guard-blocking" => Some(Rule::GuardBlocking),
+            "atomic-ordering" => Some(Rule::AtomicOrdering),
             _ => None,
         }
     }
@@ -128,6 +153,7 @@ const EXEMPT_DIRS: &[&str] = &["tests", "benches", "bin", "examples", "fixtures"
 /// they mirror foreign APIs, not lake conventions.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
+    let mut conc = concurrency::Analysis::default();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -141,14 +167,20 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         findings.extend(layering::check_manifest_file(&manifest, &rel)?);
         let src = crate_dir.join("src");
         if src.is_dir() {
-            walk_sources(&src, root, &mut findings)?;
+            walk_sources(&src, root, &mut findings, &mut conc)?;
         }
     }
+    findings.extend(conc.finish());
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
 }
 
-fn walk_sources(dir: &Path, root: &Path, findings: &mut Vec<Finding>) -> std::io::Result<()> {
+fn walk_sources(
+    dir: &Path,
+    root: &Path,
+    findings: &mut Vec<Finding>,
+    conc: &mut concurrency::Analysis,
+) -> std::io::Result<()> {
     let mut entries: Vec<PathBuf> =
         std::fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
     entries.sort();
@@ -158,7 +190,7 @@ fn walk_sources(dir: &Path, root: &Path, findings: &mut Vec<Finding>) -> std::io
             if EXEMPT_DIRS.contains(&name) {
                 continue;
             }
-            walk_sources(&path, root, findings)?;
+            walk_sources(&path, root, findings, conc)?;
         } else if name.ends_with(".rs") {
             let rel = relative_to(&path, root);
             let src = std::fs::read_to_string(&path)?;
@@ -168,6 +200,7 @@ fn walk_sources(dir: &Path, root: &Path, findings: &mut Vec<Finding>) -> std::io
             findings.extend(errors::scan_atomicity(&rel, &src));
             findings.extend(clock::scan_source(&rel, &src));
             findings.extend(float::scan_source(&rel, &src));
+            conc.add_source(&rel, &src);
         }
     }
     Ok(())
@@ -220,13 +253,51 @@ impl Report {
     }
 }
 
+/// Why a lint run itself (not the scanned code) failed.
+#[derive(Debug)]
+pub enum LintError {
+    /// The workspace scan could not read a source or manifest.
+    Io(std::io::Error),
+    /// `lake-lint.baseline.toml` is malformed.
+    Baseline(baseline::BaselineError),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io(e) => write!(f, "scan failed: {e}"),
+            LintError::Baseline(e) => write!(f, "lake-lint.baseline.toml: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io(e) => Some(e),
+            LintError::Baseline(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for LintError {
+    fn from(e: std::io::Error) -> Self {
+        LintError::Io(e)
+    }
+}
+
+impl From<baseline::BaselineError> for LintError {
+    fn from(e: baseline::BaselineError) -> Self {
+        LintError::Baseline(e)
+    }
+}
+
 /// Run the full check against the baseline at the canonical path; a
 /// missing baseline file is treated as empty (everything counts as new).
-pub fn check(root: &Path) -> Result<Report, String> {
-    let findings = scan_workspace(root).map_err(|e| format!("scan failed: {e}"))?;
+pub fn check(root: &Path) -> Result<Report, LintError> {
+    let findings = scan_workspace(root)?;
     let base = match std::fs::read_to_string(baseline_path(root)) {
-        Ok(text) => baseline::Baseline::parse(&text)
-            .map_err(|e| format!("lake-lint.baseline.toml: {e}"))?,
+        Ok(text) => baseline::Baseline::parse(&text)?,
         Err(_) => baseline::Baseline::default(),
     };
     let comparison = baseline::compare(&findings, &base);
@@ -246,6 +317,9 @@ mod tests {
             Rule::Layering,
             Rule::ClockDiscipline,
             Rule::FloatOrdering,
+            Rule::LockOrder,
+            Rule::GuardBlocking,
+            Rule::AtomicOrdering,
         ] {
             assert_eq!(Rule::from_key(rule.key()), Some(rule));
         }

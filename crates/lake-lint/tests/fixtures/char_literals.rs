@@ -1,0 +1,20 @@
+//! Fixture: char and byte-char literals — including quote and brace
+//! characters — must not open phantom strings or corrupt brace depth.
+//! The `.unwrap()` after them proves the scan still sees real code.
+
+pub fn after_chars(v: &[u8]) -> u8 {
+    let open = b'{';
+    let close = b'}';
+    let quote = b'"';
+    let tick = '\'';
+    let escaped = '\n';
+    let lifetime: &'static str = "x";
+    let first = v.first().unwrap(); // the one real violation in this file
+    *first
+        + open
+        + close
+        + quote
+        + (tick as u8)
+        + (escaped as u8)
+        + (lifetime.len() as u8)
+}

@@ -1,0 +1,47 @@
+//! Fixture: lock guards held across blocking calls (rule 7), plus the
+//! release patterns that must stay silent.
+
+use std::sync::Mutex;
+
+pub struct Cache {
+    state: Mutex<u64>,
+    store: MemoryStore,
+}
+
+impl Cache {
+    pub fn bad_store_io(&self, key: &str, data: &[u8]) {
+        let g = self.state.lock();
+        self.store.put(key, data); // guard live across store I/O
+        drop(g);
+    }
+
+    pub fn bad_retry(&self, stats: &mut RetryStats) {
+        let g = self.state.lock();
+        retry_with_stats(&self.policy, self.clock.as_ref(), stats, || Ok(()));
+        drop(g);
+    }
+
+    pub fn bad_channel(&self, tx: &Sender<u64>) {
+        let g = self.state.lock();
+        tx.send(1);
+        drop(g);
+    }
+
+    pub fn ok_release_first(&self, key: &str, data: &[u8]) {
+        let g = self.state.lock();
+        drop(g);
+        self.store.put(key, data); // fine: guard released before I/O
+    }
+
+    pub fn ok_temp_guard(&self, key: &str, data: &[u8]) {
+        *self.state.lock() += 1;
+        self.store.put(key, data); // fine: temporary died at the `;`
+    }
+
+    pub fn ok_plain_map(&self, map: &BTreeMap<String, u64>) -> Option<u64> {
+        let g = self.state.lock();
+        let hit = map.get("k").copied(); // fine: not a store-ish receiver
+        drop(g);
+        hit
+    }
+}

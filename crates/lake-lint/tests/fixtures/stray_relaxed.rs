@@ -1,0 +1,23 @@
+//! Fixture: atomic-ordering discipline (rule 8) — one stray
+//! `Ordering::Relaxed`, one justified, and `std::cmp::Ordering` noise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Hits {
+    count: AtomicU64,
+}
+
+impl Hits {
+    pub fn stray(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed); // unjustified
+    }
+
+    pub fn justified(&self) {
+        // lint: ordering — standalone counter, no cross-variable order.
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn compare(a: u32, b: u32) -> std::cmp::Ordering {
+        a.cmp(&b) // std::cmp::Ordering has no Relaxed; must not fire
+    }
+}

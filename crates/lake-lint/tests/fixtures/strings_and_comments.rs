@@ -1,0 +1,17 @@
+//! Fixture: every rule's trigger text quoted inside string literals,
+//! line comments, and block comments. All passes must stay silent.
+
+/* block comment quoting rule triggers: x.unwrap() and v[0] and
+   Instant::now() and Ordering::Relaxed and a.partial_cmp(&b).unwrap()
+   and panic!("boom") and let g = self.state.lock(); */
+
+pub fn quoted() -> usize {
+    // comment: fn bad() -> Result<(), String> { unimplemented!() }
+    // comment: self.store.put(key, data) under a held guard
+    // comment: SystemTime::now().expect("wall clock")
+    let a = "calls .unwrap() and .expect(\"x\") and panic!(\"boom\") and v[i]";
+    let b = "Ordering::Relaxed and Instant::now() and unreachable!()";
+    let c = "let g = self.m.lock(); retry_with_stats(); tx.send(1)";
+    let d = "Result<T, String> and Box<dyn Error> and partial_cmp().unwrap_or";
+    a.len() + b.len() + c.len() + d.len()
+}

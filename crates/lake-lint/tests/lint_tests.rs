@@ -80,6 +80,85 @@ fn float_ordering_fixture_has_expected_findings() {
     assert!(findings[1].message.contains("unwrap_or"), "{}", findings[1].message);
 }
 
+/// Run the workspace-wide concurrency analysis over a single fixture.
+fn analyze_fixture(name: &str) -> Vec<lake_lint::Finding> {
+    let src = fixture(name);
+    let mut conc = lake_lint::concurrency::Analysis::default();
+    conc.add_source(&format!("fixtures/{name}"), &src);
+    conc.finish()
+}
+
+#[test]
+fn lock_cycle_fixture_inverts_and_cycles() {
+    let findings = analyze_fixture("lock_cycle.rs");
+    assert!(findings.iter().all(|f| f.rule == Rule::LockOrder), "{findings:#?}");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    let inversions =
+        findings.iter().filter(|f| f.message.contains("inversion")).count();
+    let cycles = findings.iter().filter(|f| f.message.contains("cycle")).count();
+    assert_eq!((inversions, cycles), (1, 2), "{findings:#?}");
+
+    // Baseline honesty: lock-order findings can never be grandfathered —
+    // regeneration drops them, and even a forged entry buys no tolerance.
+    let base = Baseline::from_findings(&findings);
+    assert!(base.entries.is_empty(), "{base:#?}");
+    let mut forged = Baseline::default();
+    for f in &findings {
+        *forged.entries.entry((f.rule, f.file.clone())).or_insert(0) += 1;
+    }
+    let cmp = lake_lint::baseline::compare(&findings, &forged);
+    assert_eq!(cmp.new_violations.len(), findings.len(), "{cmp:#?}");
+}
+
+#[test]
+fn guard_across_store_fixture_flags_blocking_calls_only() {
+    let findings = analyze_fixture("guard_across_store.rs");
+    assert!(findings.iter().all(|f| f.rule == Rule::GuardBlocking), "{findings:#?}");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    for needle in ["put", "retry_with_stats", "send"] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(&format!("`{needle}`"))),
+            "missing {needle}: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn stray_relaxed_fixture_flags_only_unjustified_site() {
+    let findings = analyze_fixture("stray_relaxed.rs");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::AtomicOrdering);
+    assert_eq!(findings[0].line, 12, "{findings:#?}");
+}
+
+/// Rule triggers quoted inside strings, line comments, and block
+/// comments must not fire for any of the eight rules.
+#[test]
+fn quoted_triggers_never_fire() {
+    let src = fixture("strings_and_comments.rs");
+    let file = "fixtures/strings_and_comments.rs";
+    let mut findings = scanner::scan_source(file, &src, true);
+    findings.extend(lake_lint::errors::scan_source(file, &src));
+    findings.extend(lake_lint::errors::scan_atomicity(file, &src));
+    findings.extend(lake_lint::clock::scan_source(file, &src));
+    findings.extend(lake_lint::float::scan_source(file, &src));
+    findings.extend(analyze_fixture("strings_and_comments.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+/// Quote/brace characters in char literals must not open phantom
+/// strings or corrupt brace depth: the real `.unwrap()` placed after
+/// them must still be the one (and only) finding.
+#[test]
+fn char_literals_do_not_derail_the_scan() {
+    let src = fixture("char_literals.rs");
+    let findings = scanner::scan_source("fixtures/char_literals.rs", &src, false);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::Panic);
+    assert!(findings[0].message.contains(".unwrap()"), "{}", findings[0].message);
+    assert!(analyze_fixture("char_literals.rs").is_empty());
+}
+
 fn workspace_root() -> PathBuf {
     let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
     lake_lint::find_workspace_root(manifest_dir).expect("workspace root above lake-lint")
@@ -127,6 +206,22 @@ fn workspace_has_no_float_ordering_violations() {
     let findings = lake_lint::scan_workspace(&root).expect("scan");
     let float: Vec<_> = findings.iter().filter(|f| f.rule == Rule::FloatOrdering).collect();
     assert!(float.is_empty(), "{float:#?}");
+}
+
+/// The concurrency rules launch at zero debt and must stay there: no
+/// lock-order inversion, no guard held across blocking, and no stray
+/// `Ordering::Relaxed` anywhere in the workspace.
+#[test]
+fn workspace_has_no_concurrency_violations() {
+    let root = workspace_root();
+    let findings = lake_lint::scan_workspace(&root).expect("scan");
+    let conc: Vec<_> = findings
+        .iter()
+        .filter(|f| {
+            matches!(f.rule, Rule::LockOrder | Rule::GuardBlocking | Rule::AtomicOrdering)
+        })
+        .collect();
+    assert!(conc.is_empty(), "{conc:#?}");
 }
 
 /// Every first-party manifest respects the tier DAG right now.

@@ -3,7 +3,7 @@
 //! long-running lake never grows without bound.
 
 use lake_core::retry::Clock;
-use parking_lot::Mutex;
+use lake_core::sync::{rank, OrderedMutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -52,7 +52,7 @@ pub struct Event {
 
 struct EventLogInner {
     clock: Arc<dyn Clock>,
-    ring: Mutex<std::collections::VecDeque<Event>>,
+    ring: OrderedMutex<std::collections::VecDeque<Event>>,
     capacity: usize,
     seq: AtomicU64,
     dropped: AtomicU64,
@@ -85,7 +85,11 @@ impl EventLog {
         EventLog {
             inner: Arc::new(EventLogInner {
                 clock,
-                ring: Mutex::new(std::collections::VecDeque::with_capacity(capacity)),
+                ring: OrderedMutex::new(
+                    std::collections::VecDeque::with_capacity(capacity),
+                    rank::OBS_EVENTS,
+                    "obs.events.ring",
+                ),
                 capacity,
                 seq: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),

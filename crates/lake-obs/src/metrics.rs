@@ -12,7 +12,7 @@
 //! Latency histograms record **microseconds** and carry a `scale` of
 //! `1e-6`, so exporters render seconds while the hot path stays integer.
 
-use parking_lot::RwLock;
+use lake_core::sync::{rank, OrderedRwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -237,15 +237,23 @@ enum Metric {
 /// updates, but never exports) rather than aborting — the naming
 /// convention's `_total`/`_bytes`/`_seconds` suffixes make collisions a
 /// code-review smell, not a runtime hazard.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
-    metrics: RwLock<BTreeMap<MetricId, Metric>>,
+    metrics: OrderedRwLock<BTreeMap<MetricId, Metric>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
 }
 
 impl MetricsRegistry {
     /// A fresh, empty registry.
     pub fn new() -> MetricsRegistry {
-        MetricsRegistry::default()
+        MetricsRegistry {
+            metrics: OrderedRwLock::new(BTreeMap::new(), rank::OBS_REGISTRY, "obs.metrics.registry"),
+        }
     }
 
     /// Get or register an unlabeled counter.

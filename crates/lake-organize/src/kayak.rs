@@ -17,7 +17,7 @@
 
 use crate::DagDescription;
 use crossbeam::channel;
-use parking_lot::Mutex;
+use lake_core::sync::{rank, OrderedMutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -143,7 +143,11 @@ impl TaskGraph {
                 ready_tx.send(Some(t)).expect("channel open");
             }
         }
-        let completed = Arc::new(Mutex::new(Vec::with_capacity(n)));
+        let completed = Arc::new(OrderedMutex::new(
+            Vec::with_capacity(n),
+            rank::ORGANIZE_KAYAK,
+            "organize.kayak.completed",
+        ));
         let done = Arc::new(AtomicUsize::new(0));
 
         std::thread::scope(|scope| {
@@ -174,7 +178,7 @@ impl TaskGraph {
             drop(ready_tx);
         });
         let order = Arc::try_unwrap(completed)
-            .map(Mutex::into_inner)
+            .map(OrderedMutex::into_inner)
             .unwrap_or_else(|arc| arc.lock().clone());
         Ok(order)
     }

@@ -23,7 +23,7 @@
 
 use lake_store::StoreKind;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use lake_core::sync::{rank, OrderedMutex};
 
 /// Why a source contributed nothing to a degraded answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -231,23 +231,22 @@ impl Default for BreakerCell {
 /// [`CircuitBreaker::record`] driven by the caller's clock reading, so the
 /// state machine is fully deterministic under a
 /// [`lake_core::retry::ManualClock`]: no background timers, no wall time.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CircuitBreaker {
-    cells: Mutex<BTreeMap<String, BreakerCell>>,
+    cells: OrderedMutex<BTreeMap<String, BreakerCell>>,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> CircuitBreaker {
+        CircuitBreaker::new()
+    }
 }
 
 impl CircuitBreaker {
     /// A breaker set with every backend Closed.
     pub fn new() -> CircuitBreaker {
-        CircuitBreaker::default()
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, BreakerCell>> {
-        // A poisoned lock only means another query thread panicked while
-        // holding it; breaker state is monotone-recoverable, keep going.
-        match self.cells.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
+        CircuitBreaker {
+            cells: OrderedMutex::new(BTreeMap::new(), rank::QUERY_BREAKER, "query.breaker.cells"),
         }
     }
 
@@ -255,7 +254,7 @@ impl CircuitBreaker {
     /// An Open breaker whose cooldown has elapsed transitions to HalfOpen
     /// here and admits the request as the probe.
     pub fn admit(&self, key: &str, cfg: &BreakerConfig, now_us: u64) -> Admission {
-        let mut cells = self.lock();
+        let mut cells = self.cells.lock();
         let cell = cells.entry(key.to_string()).or_default();
         match cell.state {
             BreakerState::Closed => Admission::Allow,
@@ -281,7 +280,7 @@ impl CircuitBreaker {
         now_us: u64,
         success: bool,
     ) -> BreakerState {
-        let mut cells = self.lock();
+        let mut cells = self.cells.lock();
         let cell = cells.entry(key.to_string()).or_default();
         if success {
             cell.state = BreakerState::Closed;
@@ -304,12 +303,12 @@ impl CircuitBreaker {
 
     /// The state of `key`'s breaker (Closed if never consulted).
     pub fn state(&self, key: &str) -> BreakerState {
-        self.lock().get(key).map(|c| c.state).unwrap_or(BreakerState::Closed)
+        self.cells.lock().get(key).map(|c| c.state).unwrap_or(BreakerState::Closed)
     }
 
     /// Snapshot of every breaker: (key, state, consecutive failures).
     pub fn status(&self) -> Vec<(String, BreakerState, u32)> {
-        self.lock()
+        self.cells.lock()
             .iter()
             .map(|(k, c)| (k.clone(), c.state, c.consecutive_failures))
             .collect()

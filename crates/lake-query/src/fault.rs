@@ -19,7 +19,7 @@ use lake_core::{LakeError, Result};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use lake_core::sync::{rank, OrderedMutex};
 
 #[derive(Debug, Clone, Default)]
 struct LocationPlan {
@@ -74,7 +74,7 @@ struct State {
 pub struct FaultSource {
     seed: u64,
     plans: BTreeMap<String, LocationPlan>,
-    state: Mutex<State>,
+    state: OrderedMutex<State>,
 }
 
 impl Default for FaultSource {
@@ -86,7 +86,11 @@ impl Default for FaultSource {
 impl FaultSource {
     /// An injector with no scripted faults (every call proceeds).
     pub fn new() -> FaultSource {
-        FaultSource { seed: 0, plans: BTreeMap::new(), state: Mutex::new(State::default()) }
+        FaultSource {
+            seed: 0,
+            plans: BTreeMap::new(),
+            state: OrderedMutex::new(State::default(), rank::QUERY_FAULT, "query.fault.state"),
+        }
     }
 
     /// Seed for the probabilistic coin (same seed ⇒ same fault schedule).
@@ -140,10 +144,7 @@ impl FaultSource {
 
     /// Counters of everything injected so far.
     pub fn stats(&self) -> FaultSourceStats {
-        match self.state.lock() {
-            Ok(s) => s.stats.clone(),
-            Err(p) => p.into_inner().stats.clone(),
-        }
+        self.state.lock().stats.clone()
     }
 
     /// Decide the fate of one call to `location`: possibly advance the
@@ -155,10 +156,7 @@ impl FaultSource {
             None => return Ok(()),
         };
         let (call, verdict, hang) = {
-            let mut st = match self.state.lock() {
-                Ok(g) => g,
-                Err(p) => p.into_inner(),
-            };
+            let mut st = self.state.lock();
             let call = st.counters.entry(location.to_string()).or_insert(0);
             *call += 1;
             let call = *call;

@@ -36,7 +36,8 @@ use lake_store::graphstore::TriplePattern;
 use lake_store::predicate::Predicate;
 use lake_store::{Polystore, StoreKind};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use lake_core::sync::{rank, OrderedMutex};
+use std::sync::Arc;
 
 /// Pre-registered `lake_query_*` handles plus the registry itself (for
 /// per-source breaker gauges and labelled skip counters created as
@@ -128,7 +129,7 @@ pub struct FederatedEngine<'a> {
     degradation: Option<DegradationConfig>,
     breakers: CircuitBreaker,
     faults: Option<FaultSource>,
-    retry_stats: Mutex<RetryStats>,
+    retry_stats: OrderedMutex<RetryStats>,
 }
 
 impl<'a> FederatedEngine<'a> {
@@ -142,7 +143,11 @@ impl<'a> FederatedEngine<'a> {
             degradation: None,
             breakers: CircuitBreaker::new(),
             faults: None,
-            retry_stats: Mutex::new(RetryStats::default()),
+            retry_stats: OrderedMutex::new(
+                RetryStats::default(),
+                rank::QUERY_RETRY_STATS,
+                "query.federated.retry_stats",
+            ),
         }
     }
 
@@ -205,10 +210,7 @@ impl<'a> FederatedEngine<'a> {
 
     /// Retry counters accumulated across this engine's source fetches.
     pub fn retry_stats(&self) -> RetryStats {
-        match self.retry_stats.lock() {
-            Ok(g) => *g,
-            Err(p) => *p.into_inner(),
-        }
+        *self.retry_stats.lock()
     }
 
     /// The attached fault injector's counters, if any.
@@ -217,10 +219,7 @@ impl<'a> FederatedEngine<'a> {
     }
 
     fn merge_retry(&self, stats: &RetryStats) {
-        match self.retry_stats.lock() {
-            Ok(mut g) => g.merge(stats),
-            Err(p) => p.into_inner().merge(stats),
-        }
+        self.retry_stats.lock().merge(stats);
     }
 
     fn export_breaker(&self, key: &str, state: BreakerState) {

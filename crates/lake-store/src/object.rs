@@ -243,6 +243,8 @@ impl ObjectStore for LocalDirStore {
         let tmp = path.with_file_name(format!(
             ".{file_name}.tmp-{}-{}",
             std::process::id(),
+            // lint: ordering — temp-name uniqueness rests on fetch_add
+            // atomicity; no cross-variable ordering is implied.
             self.tmp_seq.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::write(&tmp, data)?;

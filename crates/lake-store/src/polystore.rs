@@ -124,8 +124,14 @@ impl Polystore {
     }
 
     fn run_retry<T>(&self, op: impl FnMut() -> Result<T>) -> Result<T> {
-        let mut stats = self.stats.lock();
-        retry_with_stats(&self.retry, self.clock.as_ref(), &mut stats, op)
+        // Accumulate into a local block and merge under a short lock
+        // afterwards: holding the stats guard across the retried store
+        // I/O (as this used to) is exactly the guard-across-blocking
+        // hazard lake-lint rule 7 exists to catch.
+        let mut delta = RetryStats::default();
+        let out = retry_with_stats(&self.retry, self.clock.as_ref(), &mut delta, op);
+        self.stats.lock().merge(&delta);
+        out
     }
 
     /// Store `dataset` under `id`/`name` using the default placement rule.

@@ -107,6 +107,8 @@ impl DataLake {
 
     /// Advance and return the lake's logical clock.
     pub fn next_tick(&self) -> u64 {
+        // lint: ordering — tick uniqueness and monotonicity rest on
+        // fetch_add atomicity; readers never infer cross-variable order.
         self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 

@@ -14,6 +14,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# The lock-order sanitizer (lake_core::sync) must be green before the
+# chaos scenarios lean on it: any rank inversion the suites provoke
+# panics with both hold-sites named, failing this gate.
+cargo test -q -p lake-core sync::
+
 cargo test -q -p lake-house --test chaos
 cargo test -q -p lake-query --test chaos
 cargo test -q -p lake-store fault::

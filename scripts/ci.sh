@@ -11,6 +11,10 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo run -p lake-lint -- check
+# Machine-readable lint report for downstream tooling (deterministic
+# ordering; the exit code above already gates the build).
+mkdir -p target
+cargo run -q -p lake-lint -- check --json > target/lake-lint-report.json
 ./scripts/chaos.sh
 ./scripts/obs.sh
 cargo run --release -p lake-bench --bin e15_parallel

@@ -1,0 +1,126 @@
+//! E16 — multi-tenant server under chaos: a 200-client seeded closed-loop
+//! swarm against a `FaultStore`-backed server, recorded to
+//! `BENCH_server.json`.
+//!
+//! The bench runs the identical scenario **twice** and refuses to emit the
+//! artifact unless the two reports are byte-identical: latency percentiles
+//! come from the server's virtual-cost model and every rejection path is
+//! count-based, so the whole table is a pure function of the seed. Tenant 0
+//! runs greedy (health-only) under a request-budget override, which turns
+//! its 429 count into exact arithmetic — `offered − budget`.
+
+use lake_core::{ManualClock, Parallelism, RetryPolicy};
+use lake_obs::MetricsRegistry;
+use lake_query::QuotaConfig;
+use lake_server::{run_swarm, DrainReport, LakeServer, ServerConfig, SwarmConfig, SwarmReport};
+use lake_store::fault::{FaultPlan, FaultStore, Op};
+use lake_store::object::MemoryStore;
+use lake_store::polystore::Polystore;
+use std::sync::Arc;
+
+const CLIENTS: usize = 200;
+const REQUESTS_PER_CLIENT: usize = 10;
+const TENANTS: usize = 8;
+const SEED: u64 = 42;
+const GREEDY_BUDGET: u64 = 100;
+
+fn swarm_config() -> SwarmConfig {
+    SwarmConfig {
+        clients: CLIENTS,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        tenants: TENANTS,
+        seed: SEED,
+        payload_len: 96,
+        greedy_tenant_zero: true,
+        ..SwarmConfig::default()
+    }
+}
+
+/// One full scenario: fresh fault-injected server, full swarm, drain.
+fn run_once() -> (SwarmReport, DrainReport) {
+    let clock = Arc::new(ManualClock::new());
+    // Fault budgets of at most retry_attempts − 1 per op: even if one
+    // unlucky op eats the whole budget, its retries absorb it — chaos
+    // underneath, deterministic zero surfaced storage errors above. A
+    // bigger budget would make the surfaced count interleaving-dependent
+    // and break the byte-identity gate.
+    let plan = FaultPlan::new().seed(7).fail_next(Op::Put, 4).fail_next(Op::Get, 4);
+    let store = Arc::new(
+        Polystore::with_file_store(Box::new(FaultStore::new(MemoryStore::new(), plan)))
+            .with_retry(RetryPolicy::new(5).with_jitter_seed(7))
+            .with_clock(clock.clone()),
+    );
+    let cfg = ServerConfig {
+        workers: Parallelism::fixed(8),
+        queue_capacity: 1_024,
+        quota_overrides: vec![(
+            "tenant0".to_string(),
+            QuotaConfig::unlimited().with_max_requests(GREEDY_BUDGET),
+        )],
+        ..ServerConfig::default()
+    };
+    let registry = Arc::new(MetricsRegistry::new());
+    let handle = LakeServer::start(cfg, store, registry, clock).expect("server start");
+    let report = run_swarm(&handle.addr(), &swarm_config());
+    let drain = handle.join().expect("drain");
+    (report, drain)
+}
+
+fn main() {
+    println!("E16 — multi-tenant lake server under FaultStore chaos");
+    println!(
+        "  swarm: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests, {TENANTS} tenants, seed {SEED}"
+    );
+    let (first, drain_a) = run_once();
+    let (second, drain_b) = run_once();
+    let cfg = swarm_config();
+    let json_a = first.to_json(&cfg).to_string();
+    let json_b = second.to_json(&cfg).to_string();
+    if json_a != json_b {
+        eprintln!("REPLAY MISMATCH:\n  run1: {json_a}\n  run2: {json_b}");
+        std::process::exit(1);
+    }
+
+    let offered_t0 = (CLIENTS / TENANTS * REQUESTS_PER_CLIENT) as u64;
+    let want_429 = offered_t0 - GREEDY_BUDGET;
+    let got_429 = first.by_code.get("quota_requests").copied().unwrap_or(0);
+    if got_429 != want_429 {
+        eprintln!("greedy-tenant arithmetic broke: want {want_429} quota_requests, got {got_429}");
+        std::process::exit(1);
+    }
+    // With the fault budget fully absorbed, only these outcomes exist.
+    for code in first.by_code.keys() {
+        if !matches!(code.as_str(), "ok" | "not_found" | "quota_requests") {
+            eprintln!("unexpected outcome {code:?} leaked through the retry budget");
+            std::process::exit(1);
+        }
+    }
+    for (drain, label) in [(&drain_a, "run1"), (&drain_b, "run2")] {
+        if !drain.drained || drain.worker_panics != 0 || !drain.admission.is_conserved() {
+            eprintln!("{label} drain gate failed: {drain:?}");
+            std::process::exit(1);
+        }
+    }
+
+    println!("\n  outcome            count");
+    println!("  -----------------  -----");
+    for (code, count) in &first.by_code {
+        println!("  {code:<17}  {count:>5}");
+    }
+    println!("\n  offered {:>6}   ok {:>6}   transport_errors {}", first.offered, first.ok, first.transport_errors);
+    println!(
+        "  latency (virtual cost): p50 {}us  p99 {}us  mean {}us  max {}us",
+        first.p50_us, first.p99_us, first.mean_us, first.max_us
+    );
+    println!(
+        "  drain: in-flight at exit {}  admission conserved  worker panics 0",
+        drain_a.in_flight_at_exit
+    );
+    println!("  replay: byte-identical across two same-seed runs");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    let mut payload = json_a;
+    payload.push('\n');
+    std::fs::write(out, payload).expect("write BENCH_server.json");
+    println!("  wrote {out}");
+}

@@ -41,8 +41,13 @@ pub mod rank {
     pub const ORGANIZE_KAYAK: u32 = 10;
     /// Federated-query fault injector state (`lake-query::fault`).
     pub const QUERY_FAULT: u32 = 20;
+    /// Server tenant-namespace registry (`lake-server::tenant`); outer to
+    /// the breaker/quota cells so a namespace holder may consult them.
+    pub const SERVER_TENANTS: u32 = 25;
     /// Circuit-breaker cell map (`lake-query::degrade`).
     pub const QUERY_BREAKER: u32 = 30;
+    /// Per-key quota-ledger cells (`lake-query::degrade`).
+    pub const QUERY_QUOTA: u32 = 35;
     /// Federated engine retry counters (`lake-query::federated`).
     pub const QUERY_RETRY_STATS: u32 = 40;
     /// Transaction-log retry counters (`lake-house::log`).

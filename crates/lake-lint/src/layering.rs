@@ -7,7 +7,7 @@
 //! | 0    | core model                        | `lake-core` |
 //! | 1    | storage & primitives              | `lake-formats`, `lake-store`, `lake-index`, `lake-ml` |
 //! | 2    | ingestion / maintenance / exploration functions | `lake-ingest`, `lake-discovery`, `lake-organize`, `lake-integrate`, `lake-maintain`, `lake-query`, `lake-house` |
-//! | 3    | facade & tooling                  | `lake`, `lake-bench`, `lake-lint` |
+//! | 3    | facade & tooling                  | `lake`, `lake-server`, `lake-bench`, `lake-lint` |
 //!
 //! A crate may depend only on crates of its own tier or below (same-tier
 //! edges are allowed — cargo already guarantees acyclicity); any edge that
@@ -43,6 +43,7 @@ pub const TIERS: &[(&str, u8)] = &[
     ("lake-maintain", 2),
     ("lake-query", 2),
     ("lake-house", 2),
+    ("lake-server", 3),
     ("lake", 3),
     ("lake-bench", 3),
     ("lake-lint", 3),

@@ -360,6 +360,17 @@ impl MetricsSnapshot {
             .sum()
     }
 
+    /// The value of the counter with exactly this name and label set
+    /// (order-insensitive); zero when absent.
+    pub fn counter_value_with(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let want = MetricId::new(name, labels);
+        self.counters
+            .iter()
+            .find(|(id, _)| *id == want)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
     /// The first histogram with this name, if any.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms

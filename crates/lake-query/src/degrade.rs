@@ -315,6 +315,136 @@ impl CircuitBreaker {
     }
 }
 
+/// Resource budget for one quota key (a tenant, a source, a principal).
+/// `None` disables the respective limit.
+///
+/// Quotas are **count-based**, not time-based: a ledger charged with the
+/// same multiset of requests always ends in the same state regardless of
+/// thread interleaving, which is what makes multi-tenant admission
+/// replayable under the chaos harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuotaConfig {
+    /// Upper bound on granted requests for the key.
+    pub max_requests: Option<u64>,
+    /// Upper bound on granted payload bytes for the key.
+    pub max_bytes: Option<u64>,
+}
+
+impl QuotaConfig {
+    /// No limits.
+    pub fn unlimited() -> QuotaConfig {
+        QuotaConfig::default()
+    }
+
+    /// Cap the number of granted requests.
+    pub fn with_max_requests(mut self, n: u64) -> QuotaConfig {
+        self.max_requests = Some(n);
+        self
+    }
+
+    /// Cap the granted payload bytes.
+    pub fn with_max_bytes(mut self, n: u64) -> QuotaConfig {
+        self.max_bytes = Some(n);
+        self
+    }
+}
+
+/// The outcome of charging one request against a key's quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaDecision {
+    /// The request fits; the ledger consumed one request and its bytes.
+    Granted,
+    /// The key's request budget is exhausted; nothing was consumed.
+    RequestsExhausted,
+    /// The key's byte budget cannot fit this payload; nothing was consumed.
+    BytesExhausted,
+}
+
+impl QuotaDecision {
+    /// Stable label used in metrics and typed rejections.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuotaDecision::Granted => "granted",
+            QuotaDecision::RequestsExhausted => "quota_requests",
+            QuotaDecision::BytesExhausted => "quota_bytes",
+        }
+    }
+
+    /// `true` when the request may proceed.
+    pub fn is_granted(self) -> bool {
+        matches!(self, QuotaDecision::Granted)
+    }
+}
+
+/// Consumption recorded for one quota key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuotaUsage {
+    /// Requests granted so far.
+    pub requests: u64,
+    /// Payload bytes granted so far.
+    pub bytes: u64,
+    /// Requests rejected (for either exhausted budget).
+    pub rejected: u64,
+}
+
+/// A per-key quota ledger: each key (tenant, source, …) consumes from its
+/// own [`QuotaConfig`] budget, so one abusive key cannot starve others.
+///
+/// All accounting happens under one short lock, and decisions depend only
+/// on the key's own totals — never on wall time or arrival order across
+/// keys — so for a fixed per-key request multiset the final
+/// [`QuotaUsage`] is deterministic under any interleaving. The server's
+/// `quota_prop` suite replays this property across seeds and worker
+/// counts.
+#[derive(Debug)]
+pub struct QuotaLedger {
+    cells: OrderedMutex<BTreeMap<String, QuotaUsage>>,
+}
+
+impl Default for QuotaLedger {
+    fn default() -> QuotaLedger {
+        QuotaLedger::new()
+    }
+}
+
+impl QuotaLedger {
+    /// A ledger with no consumption recorded.
+    pub fn new() -> QuotaLedger {
+        QuotaLedger {
+            cells: OrderedMutex::new(BTreeMap::new(), rank::QUERY_QUOTA, "query.quota.cells"),
+        }
+    }
+
+    /// Charge one request of `bytes` payload against `key` under `cfg`.
+    /// Request budget is checked before byte budget; a rejection consumes
+    /// nothing (beyond the `rejected` count).
+    pub fn charge(&self, key: &str, cfg: &QuotaConfig, bytes: u64) -> QuotaDecision {
+        let mut cells = self.cells.lock();
+        let cell = cells.entry(key.to_string()).or_default();
+        if cfg.max_requests.is_some_and(|max| cell.requests >= max) {
+            cell.rejected = cell.rejected.saturating_add(1);
+            return QuotaDecision::RequestsExhausted;
+        }
+        if cfg.max_bytes.is_some_and(|max| cell.bytes.saturating_add(bytes) > max) {
+            cell.rejected = cell.rejected.saturating_add(1);
+            return QuotaDecision::BytesExhausted;
+        }
+        cell.requests += 1;
+        cell.bytes = cell.bytes.saturating_add(bytes);
+        QuotaDecision::Granted
+    }
+
+    /// Consumption recorded for `key` (zeroes if never charged).
+    pub fn usage(&self, key: &str) -> QuotaUsage {
+        self.cells.lock().get(key).copied().unwrap_or_default()
+    }
+
+    /// Snapshot of every key's consumption, sorted by key.
+    pub fn snapshot(&self) -> Vec<(String, QuotaUsage)> {
+        self.cells.lock().iter().map(|(k, u)| (k.clone(), *u)).collect()
+    }
+}
+
 /// The full degradation configuration attached to an engine with
 /// [`crate::federated::FederatedEngine::with_degradation`].
 #[derive(Debug, Clone)]
@@ -432,6 +562,38 @@ mod tests {
         assert_eq!(br.admit("b", &CFG, 0), Admission::Allow);
         let status = br.status();
         assert_eq!(status.len(), 2);
+    }
+
+    #[test]
+    fn quota_ledger_charges_and_rejects_per_key() {
+        let ledger = QuotaLedger::new();
+        let cfg = QuotaConfig::unlimited().with_max_requests(2).with_max_bytes(100);
+        assert_eq!(ledger.charge("t1", &cfg, 40), QuotaDecision::Granted);
+        assert_eq!(ledger.charge("t1", &cfg, 40), QuotaDecision::Granted);
+        // Request budget hit before byte budget.
+        assert_eq!(ledger.charge("t1", &cfg, 1), QuotaDecision::RequestsExhausted);
+        let u = ledger.usage("t1");
+        assert_eq!((u.requests, u.bytes, u.rejected), (2, 80, 1));
+        // Keys are independent.
+        assert_eq!(ledger.charge("t2", &cfg, 99), QuotaDecision::Granted);
+        assert_eq!(ledger.charge("t2", &cfg, 2), QuotaDecision::BytesExhausted);
+        assert_eq!(ledger.usage("t2").bytes, 99, "rejection consumes nothing");
+        assert_eq!(ledger.snapshot().len(), 2);
+        // An unlimited config never rejects.
+        let open = QuotaConfig::unlimited();
+        for _ in 0..10 {
+            assert!(ledger.charge("t3", &open, u64::MAX / 4).is_granted());
+        }
+        assert_eq!(ledger.usage("t3").rejected, 0);
+    }
+
+    #[test]
+    fn quota_decision_names_are_stable() {
+        assert_eq!(QuotaDecision::Granted.name(), "granted");
+        assert_eq!(QuotaDecision::RequestsExhausted.name(), "quota_requests");
+        assert_eq!(QuotaDecision::BytesExhausted.name(), "quota_bytes");
+        assert!(QuotaDecision::Granted.is_granted());
+        assert!(!QuotaDecision::BytesExhausted.is_granted());
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod srql;
 pub use ast::{parse_query, Query};
 pub use degrade::{
     BreakerConfig, BreakerState, CircuitBreaker, Completeness, DegradationConfig, QueryBudget,
-    SkipReason, SkippedSource,
+    QuotaConfig, QuotaDecision, QuotaLedger, QuotaUsage, SkipReason, SkippedSource,
 };
 pub use fault::{FaultSource, FaultSourceStats};
 pub use federated::FederatedEngine;

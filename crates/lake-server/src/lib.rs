@@ -1,0 +1,43 @@
+//! # lake-server
+//!
+//! A fault-tolerant multi-tenant front door for the lake (survey §8.3:
+//! lakes are *shared* infrastructure — many teams, one platform). The
+//! crate turns the in-process [`lake_store::polystore::Polystore`] into a
+//! long-lived TCP service with the robustness ladder the rest of the
+//! workspace already practises in-process:
+//!
+//! * [`protocol`] — a length-prefixed JSON request/response framing with
+//!   typed error codes: every failure a client sees is a named, matchable
+//!   category, never a silently dropped connection.
+//! * [`admission`] — bounded concurrent admission with load-shedding:
+//!   when the server is saturated it *says so* (a typed 503-style
+//!   rejection) instead of queueing unboundedly or stalling accepts.
+//! * [`tenant`] — per-tenant namespaces over the polystore plus
+//!   per-tenant quotas ([`lake_query::QuotaLedger`]) and per-tenant
+//!   circuit breakers ([`lake_query::CircuitBreaker`]), so one abusive
+//!   tenant degrades *its own* service, not its neighbours'.
+//! * [`server`] — the accept/worker loops: panic-isolated workers (a
+//!   panicking handler kills one connection, not the process), read/write
+//!   deadlines, graceful drain (stop accepting → finish in-flight under a
+//!   deadline → flush metrics → exit cleanly).
+//! * [`swarm`] — a seeded closed-loop client swarm for chaos testing:
+//!   hundreds of concurrent connections with a deterministic request mix,
+//!   reporting latency percentiles and per-code outcome counts that
+//!   replay byte-for-byte for a fixed seed.
+//!
+//! Everything time-dependent runs on the injectable
+//! [`lake_core::retry::Clock`], and every counter in the ladder is
+//! conserved (offered = admitted + shed + drain-rejected), which is what
+//! the `quota_prop` property suite pins down.
+
+pub mod admission;
+pub mod protocol;
+pub mod server;
+pub mod swarm;
+pub mod tenant;
+
+pub use admission::{AdmissionController, AdmissionCounters, Offer};
+pub use protocol::{ErrorCode, Request, Response, Verb};
+pub use server::{DrainReport, LakeServer, ServerConfig, ServerHandle};
+pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
+pub use tenant::{TenantStats, Tenants};

@@ -1,0 +1,659 @@
+//! The accept/worker loops and the graceful-drain state machine.
+//!
+//! Topology: one non-blocking acceptor thread offers every inbound
+//! connection to the [`AdmissionController`], then hands admitted sockets
+//! to a fixed worker pool (sized by [`lake_core::Parallelism`], the same
+//! knob the batch fan-outs use) over an mpmc channel. Each worker serves
+//! one request per connection inside `std::panic::catch_unwind`, so a
+//! panicking handler kills *that connection*, increments
+//! `lake_server_worker_panics_total`, and the process lives on.
+//!
+//! Drain is a three-step ladder, observable at every rung:
+//!
+//! 1. [`ServerHandle::drain`] flips the admission flag — new connections
+//!    get a typed `draining` rejection, never a hung accept;
+//! 2. the acceptor exits and drops the task sender, so workers finish
+//!    every queued and in-flight request, then see the channel disconnect
+//!    and exit;
+//! 3. [`ServerHandle::join`] waits for the pool under the drain deadline
+//!    and returns a [`DrainReport`] with the final conserved admission
+//!    counters.
+
+use crate::admission::{AdmissionController, AdmissionCounters, Offer};
+use crate::protocol::{
+    self, ErrorCode, Request, Response, Verb, DEFAULT_MAX_FRAME_BYTES,
+};
+use crate::tenant::Tenants;
+use lake_core::retry::Clock;
+use lake_core::{Dataset, Json, LakeError, Parallelism, Result};
+use lake_obs::{MetricsRegistry, MICROS_TO_SECONDS};
+use lake_query::degrade::Admission;
+use lake_query::{BreakerConfig, QuotaConfig, QuotaDecision};
+use lake_store::polystore::Polystore;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything tunable about one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Worker pool size — the same sizing policy as the batch fan-outs
+    /// (`RUSTLAKE_WORKERS` respected via [`Parallelism::auto`]).
+    pub workers: Parallelism,
+    /// Concurrent-connection ceiling; offers beyond it are shed with a
+    /// typed rejection.
+    pub queue_capacity: usize,
+    /// Quota applied to tenants without an override.
+    pub default_quota: QuotaConfig,
+    /// Per-tenant quota overrides.
+    pub quota_overrides: Vec<(String, QuotaConfig)>,
+    /// Breaker thresholds shared by every tenant's breaker.
+    pub breaker: BreakerConfig,
+    /// Socket read deadline per connection, in milliseconds.
+    pub read_timeout_ms: u64,
+    /// Socket write deadline per connection, in milliseconds.
+    pub write_timeout_ms: u64,
+    /// How long [`ServerHandle::join`] waits for in-flight work.
+    pub drain_deadline_ms: u64,
+    /// Frame-size ceiling.
+    pub max_frame_bytes: usize,
+    /// Accept the `boom`/`flaky` fault-injection verbs (chaos tests only).
+    pub enable_chaos_verbs: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: Parallelism::auto(),
+            queue_capacity: 256,
+            default_quota: QuotaConfig::unlimited(),
+            quota_overrides: Vec::new(),
+            breaker: BreakerConfig::default(),
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            drain_deadline_ms: 5_000,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            enable_chaos_verbs: false,
+        }
+    }
+}
+
+/// What [`ServerHandle::join`] reports after shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// `true` when every worker exited inside the drain deadline.
+    pub drained: bool,
+    /// Admitted connections still unreleased at exit (0 on a clean drain).
+    pub in_flight_at_exit: usize,
+    /// Final admission counters (conserved).
+    pub admission: AdmissionCounters,
+    /// Handler panics absorbed by worker isolation over the lifetime.
+    pub worker_panics: u64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    store: Arc<Polystore>,
+    tenants: Tenants,
+    admission: AdmissionController,
+    registry: Arc<MetricsRegistry>,
+    clock: Arc<dyn Clock>,
+}
+
+impl Shared {
+    fn count_request(&self, verb: &str, code: ErrorCode, cost_us: u64) {
+        self.registry
+            .counter_with("lake_server_requests_total", &[("verb", verb), ("code", code.name())])
+            .inc();
+        self.registry
+            .histogram("lake_server_request_cost_seconds", MICROS_TO_SECONDS)
+            .observe(cost_us);
+    }
+}
+
+/// The server factory. [`LakeServer::start`] is the only entry point; the
+/// running instance is driven through the returned [`ServerHandle`].
+pub struct LakeServer;
+
+impl LakeServer {
+    /// Bind, spawn the acceptor and worker pool, and return the handle.
+    pub fn start(
+        cfg: ServerConfig,
+        store: Arc<Polystore>,
+        registry: Arc<MetricsRegistry>,
+        clock: Arc<dyn Clock>,
+    ) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| LakeError::Io(format!("bind {}: {e}", cfg.addr)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| LakeError::Io(format!("set_nonblocking: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| LakeError::Io(format!("local_addr: {e}")))?;
+
+        let mut tenants = Tenants::new(cfg.default_quota, cfg.breaker);
+        for (tenant, quota) in &cfg.quota_overrides {
+            tenants = tenants.with_override(tenant, *quota);
+        }
+        let shared = Arc::new(Shared {
+            admission: AdmissionController::new(cfg.queue_capacity),
+            tenants,
+            cfg,
+            store,
+            registry,
+            clock,
+        });
+
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let worker_count = shared.cfg.workers.workers().max(1);
+        let mut workers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+        drop(rx);
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+
+        Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), workers })
+    }
+}
+
+/// A running server: its address, drain switch, and join/report.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Begin a graceful drain: stop admitting, let in-flight work finish.
+    /// Idempotent; also triggered remotely by the `drain` verb.
+    pub fn drain(&self) {
+        self.shared.admission.begin_drain();
+    }
+
+    /// `true` once a drain has begun (locally or via the `drain` verb).
+    pub fn is_draining(&self) -> bool {
+        self.shared.admission.is_draining()
+    }
+
+    /// Final metrics snapshot helper for gates.
+    pub fn worker_panics(&self) -> u64 {
+        self.shared
+            .registry
+            .snapshot()
+            .counter_value("lake_server_worker_panics_total")
+    }
+
+    /// Drain (if not already draining), wait for the pool under the drain
+    /// deadline, flush final gauges, and report. Workers that ignore the
+    /// deadline are detached, never killed — the report says so instead.
+    pub fn join(mut self) -> Result<DrainReport> {
+        self.drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            if acceptor.join().is_err() {
+                // The acceptor never panics by design; record loudly if it did.
+                self.shared.registry.counter("lake_server_acceptor_panics_total").inc();
+            }
+        }
+        // The acceptor dropped the task sender, so workers drain the queue
+        // and exit on channel disconnect. Wait with a sliced real-time
+        // budget: the drain deadline bounds a *hang*, which virtual clocks
+        // cannot observe.
+        let deadline_slices = self.shared.cfg.drain_deadline_ms.max(1);
+        let mut waited = 0u64;
+        let mut pending = self.workers;
+        while !pending.is_empty() && waited < deadline_slices {
+            pending.retain(|h| !h.is_finished());
+            if pending.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            waited += 1;
+        }
+        let drained = pending.iter().all(|h| h.is_finished());
+        for h in pending {
+            if h.is_finished() && h.join().is_err() {
+                // Worker bodies catch handler panics; a panic here would
+                // be a harness bug worth surfacing in the report counters.
+                self.shared.registry.counter("lake_server_worker_panics_total").inc();
+            }
+        }
+        let admission = self.shared.admission.counters();
+        let panics = self
+            .shared
+            .registry
+            .snapshot()
+            .counter_value("lake_server_worker_panics_total");
+        self.shared.registry.gauge("lake_server_draining").set(1);
+        self.shared.registry.gauge("lake_server_inflight").set(
+            i64::try_from(admission.in_flight).unwrap_or(i64::MAX),
+        );
+        Ok(DrainReport {
+            drained: drained && admission.in_flight == 0,
+            in_flight_at_exit: admission.in_flight,
+            admission,
+            worker_panics: panics,
+        })
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &crossbeam::channel::Sender<TcpStream>) {
+    loop {
+        if shared.admission.is_draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.registry.counter("lake_server_connections_total").inc();
+                match shared.admission.offer() {
+                    Offer::Admit => {
+                        if tx.send(stream).is_err() {
+                            // Worker pool is gone (shutdown race): the slot
+                            // can never be served, release it.
+                            shared.admission.release();
+                        }
+                    }
+                    Offer::Shed => {
+                        shared.registry.counter("lake_server_shed_total").inc();
+                        reject(shared, stream, ErrorCode::Shed, "server at capacity");
+                    }
+                    Offer::Draining => {
+                        shared.registry.counter("lake_server_draining_rejected_total").inc();
+                        reject(shared, stream, ErrorCode::Draining, "server is draining");
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Real sleep, deliberately not the injected clock: under a
+                // ManualClock a virtual sleep would spin without yielding,
+                // and the poll cadence is not part of any determinism
+                // contract (nothing measures it).
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                shared.registry.counter("lake_server_accept_errors_total").inc();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Best-effort typed rejection: configure short write deadlines, send the
+/// frame, close. Failures are ignored — the client may already be gone —
+/// but the *attempt* is the contract (never a silent drop).
+fn reject(shared: &Shared, mut stream: TcpStream, code: ErrorCode, detail: &str) {
+    let timeout = Some(Duration::from_millis(shared.cfg.write_timeout_ms.max(1)));
+    let _ = stream.set_write_timeout(timeout);
+    let _ = protocol::write_json(&mut stream, &Response::fail(code, detail).to_json());
+    shared.count_request("none", code, 0);
+}
+
+fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<TcpStream>) {
+    while let Ok(stream) = rx.recv() {
+        let inflight = shared.registry.gauge("lake_server_inflight");
+        inflight.add(1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(shared, stream);
+        }));
+        if outcome.is_err() {
+            shared.registry.counter("lake_server_worker_panics_total").inc();
+        }
+        inflight.add(-1);
+        shared.admission.release();
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let read_t = Some(Duration::from_millis(shared.cfg.read_timeout_ms.max(1)));
+    let write_t = Some(Duration::from_millis(shared.cfg.write_timeout_ms.max(1)));
+    if stream.set_read_timeout(read_t).is_err() || stream.set_write_timeout(write_t).is_err() {
+        return;
+    }
+    let frame = match protocol::read_json(&mut stream, shared.cfg.max_frame_bytes) {
+        Ok(Some(j)) => j,
+        // Clean close before a request: nothing to answer.
+        Ok(None) => return,
+        Err(e) => {
+            let code = match &e {
+                LakeError::Transient(msg) if msg.starts_with("deadline") => {
+                    shared.registry.counter("lake_server_read_timeouts_total").inc();
+                    ErrorCode::Timeout
+                }
+                LakeError::Invalid(_) => ErrorCode::TooLarge,
+                LakeError::Parse(_) => ErrorCode::BadRequest,
+                _ => ErrorCode::Internal,
+            };
+            let resp = Response::fail(code, e);
+            shared.count_request("unparsed", code, 0);
+            let _ = protocol::write_json(&mut stream, &resp.to_json());
+            return;
+        }
+    };
+    let frame_bytes = frame.to_string().len() as u64;
+    let (verb_label, resp) = match Request::from_json(&frame) {
+        Ok(req) => {
+            let label = req.verb.name();
+            (label, dispatch(shared, &req, frame_bytes))
+        }
+        Err(e) => ("unparsed", Response::fail(ErrorCode::BadRequest, e)),
+    };
+    shared.count_request(verb_label, resp.code, resp.cost_us);
+    let _ = protocol::write_json(&mut stream, &resp.to_json());
+}
+
+fn dispatch(shared: &Shared, req: &Request, frame_bytes: u64) -> Response {
+    if let Err(e) = Tenants::validate_ident(&req.tenant) {
+        return Response::fail(ErrorCode::BadRequest, format!("tenant: {e}"));
+    }
+    if matches!(req.verb, Verb::Put | Verb::Get | Verb::Del) {
+        if let Err(e) = Tenants::validate_ident(&req.name) {
+            return Response::fail(ErrorCode::BadRequest, format!("name: {e}"));
+        }
+    }
+    if req.verb.is_chaos() && !shared.cfg.enable_chaos_verbs {
+        return Response::fail(
+            ErrorCode::BadRequest,
+            format!("chaos verb {:?} is disabled on this server", req.verb.name()),
+        );
+    }
+    let cost_us = protocol::virtual_cost_us(req.verb, frame_bytes);
+
+    // Admin verbs bypass quota and breaker: `drain` must work for an
+    // operator even when every tenant budget is spent.
+    if req.verb == Verb::Drain {
+        shared.admission.begin_drain();
+        return Response::ok(Json::obj(vec![("draining", Json::Bool(true))]), cost_us);
+    }
+
+    // Rung 1 — per-tenant quota (count-based, order-independent).
+    let decision = shared.tenants.charge(&req.tenant, frame_bytes);
+    match decision {
+        QuotaDecision::Granted => {}
+        QuotaDecision::RequestsExhausted | QuotaDecision::BytesExhausted => {
+            shared
+                .registry
+                .counter_with("lake_server_quota_rejected_total", &[("tenant", &req.tenant)])
+                .inc();
+            let code = if decision == QuotaDecision::RequestsExhausted {
+                ErrorCode::QuotaRequests
+            } else {
+                ErrorCode::QuotaBytes
+            };
+            return Response::fail(code, format!("tenant {} over {}", req.tenant, decision.name()));
+        }
+    }
+
+    // Rung 2 — per-tenant circuit breaker guards the storage verbs.
+    let guarded = matches!(req.verb, Verb::Put | Verb::Get | Verb::Del | Verb::Flaky);
+    if guarded {
+        let now_us = shared.clock.now_micros();
+        if shared.tenants.admit(&req.tenant, now_us) == Admission::Deny {
+            shared
+                .registry
+                .counter_with("lake_server_breaker_rejected_total", &[("tenant", &req.tenant)])
+                .inc();
+            return Response::fail(
+                ErrorCode::BreakerOpen,
+                format!("tenant {}'s breaker is open", req.tenant),
+            );
+        }
+    }
+
+    let result = execute(shared, req);
+    if guarded {
+        // NotFound and friends are *successful conversations* with the
+        // backend; only infrastructure failures feed the breaker.
+        let success = !matches!(
+            &result,
+            Err(LakeError::Transient(_)) | Err(LakeError::Io(_))
+        );
+        let state = shared.tenants.record(&req.tenant, shared.clock.now_micros(), success);
+        shared
+            .registry
+            .gauge_with("lake_server_breaker_state", &[("tenant", &req.tenant)])
+            .set(state.gauge_value());
+    }
+    match result {
+        Ok(body) => Response::ok(body, cost_us),
+        Err(e) => Response::fail(ErrorCode::from_error(&e), e),
+    }
+}
+
+fn execute(shared: &Shared, req: &Request) -> Result<Json> {
+    match req.verb {
+        Verb::Health => Ok(Json::obj(vec![
+            ("status", Json::str("ok")),
+            ("draining", Json::Bool(shared.admission.is_draining())),
+        ])),
+        Verb::Put => {
+            let dataset = dataset_from_body(&req.kind, &req.body)?;
+            let kind = dataset.kind().name();
+            let id = shared.tenants.assign(&req.tenant, &req.name);
+            let scoped = Tenants::scoped(&req.tenant, &req.name);
+            let placement = shared.store.store(id, &scoped, dataset)?;
+            Ok(Json::obj(vec![
+                ("id", Json::Num(id.0 as f64)),
+                ("kind", Json::str(kind)),
+                ("store", Json::str(placement.store.name())),
+            ]))
+        }
+        Verb::Get => {
+            let id = shared
+                .tenants
+                .lookup(&req.tenant, &req.name)
+                .ok_or_else(|| LakeError::not_found(format!("{}/{}", req.tenant, req.name)))?;
+            let dataset = shared.store.retrieve(id)?;
+            Ok(dataset_to_body(&dataset))
+        }
+        Verb::Del => {
+            let id = shared
+                .tenants
+                .lookup(&req.tenant, &req.name)
+                .ok_or_else(|| LakeError::not_found(format!("{}/{}", req.tenant, req.name)))?;
+            shared.store.remove(id)?;
+            shared.tenants.remove_name(&req.tenant, &req.name);
+            Ok(Json::obj(vec![("deleted", Json::str(req.name.clone()))]))
+        }
+        Verb::List => {
+            let names = shared.tenants.list(&req.tenant);
+            Ok(Json::obj(vec![(
+                "datasets",
+                Json::Array(names.into_iter().map(Json::Str).collect()),
+            )]))
+        }
+        Verb::Stats => {
+            let s = shared.tenants.stats(&req.tenant);
+            let a = shared.admission.counters();
+            Ok(Json::obj(vec![
+                ("requests", Json::Num(s.usage.requests as f64)),
+                ("bytes", Json::Num(s.usage.bytes as f64)),
+                ("rejected", Json::Num(s.usage.rejected as f64)),
+                ("breaker", Json::str(s.breaker.name())),
+                ("datasets", Json::Num(s.datasets as f64)),
+                ("server_in_flight", Json::Num(a.in_flight as f64)),
+            ]))
+        }
+        Verb::Metrics => Ok(Json::obj(vec![(
+            "prometheus",
+            Json::str(lake_obs::export::prometheus_text(&shared.registry.snapshot())),
+        )])),
+        // `drain` is handled before the quota rung in `dispatch`.
+        Verb::Drain => Ok(Json::obj(vec![("draining", Json::Bool(true))])),
+        Verb::Flaky => Err(LakeError::transient("flaky verb: injected failure")),
+        Verb::Boom => {
+            // Deliberate panic to exercise worker isolation; `panic_any`
+            // keeps the source free of the banned `panic!` macro.
+            std::panic::panic_any("boom verb: injected handler panic");
+        }
+    }
+}
+
+fn dataset_from_body(kind: &str, body: &Json) -> Result<Dataset> {
+    match kind {
+        "text" => {
+            let s = body
+                .as_str()
+                .ok_or_else(|| LakeError::invalid("kind \"text\" needs a string body"))?;
+            Ok(Dataset::Text(s.to_string()))
+        }
+        "log" => {
+            let lines = body
+                .as_array()
+                .ok_or_else(|| LakeError::invalid("kind \"log\" needs an array body"))?
+                .iter()
+                .map(|j| {
+                    j.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| LakeError::invalid("log lines must be strings"))
+                })
+                .collect::<Result<Vec<String>>>()?;
+            Ok(Dataset::Log(lines))
+        }
+        "documents" => {
+            let docs = body
+                .as_array()
+                .ok_or_else(|| LakeError::invalid("kind \"documents\" needs an array body"))?;
+            Ok(Dataset::Documents(docs.to_vec()))
+        }
+        other => Err(LakeError::invalid(format!(
+            "unsupported kind {other:?} (use text, log, or documents)"
+        ))),
+    }
+}
+
+fn dataset_to_body(dataset: &Dataset) -> Json {
+    match dataset {
+        Dataset::Text(t) => Json::obj(vec![
+            ("kind", Json::str("text")),
+            ("body", Json::str(t.clone())),
+        ]),
+        Dataset::Log(lines) => Json::obj(vec![
+            ("kind", Json::str("log")),
+            ("body", Json::Array(lines.iter().map(|l| Json::str(l.clone())).collect())),
+        ]),
+        Dataset::Documents(docs) => Json::obj(vec![
+            ("kind", Json::str("documents")),
+            ("body", Json::Array(docs.clone())),
+        ]),
+        other => Json::obj(vec![
+            ("kind", Json::str(other.kind().name())),
+            ("records", Json::Num(other.record_count() as f64)),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_core::SystemClock;
+
+    fn start_default(cfg: ServerConfig) -> ServerHandle {
+        LakeServer::start(
+            cfg,
+            Arc::new(Polystore::new()),
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(SystemClock),
+        )
+        .unwrap()
+    }
+
+    fn send(addr: &str, req: &Request) -> Response {
+        protocol::request(addr, req, 2_000, DEFAULT_MAX_FRAME_BYTES).unwrap()
+    }
+
+    #[test]
+    fn put_get_list_del_round_trip() {
+        let h = start_default(ServerConfig::default());
+        let addr = h.addr();
+        let put = Request::new("acme", Verb::Put)
+            .with_name("notes")
+            .with_kind("text")
+            .with_body(Json::str("hello lake"));
+        assert!(send(&addr, &put).is_ok());
+        let got = send(&addr, &Request::new("acme", Verb::Get).with_name("notes"));
+        assert!(got.is_ok());
+        assert_eq!(got.body.path("body").and_then(Json::as_str), Some("hello lake"));
+        let listed = send(&addr, &Request::new("acme", Verb::List));
+        assert_eq!(
+            listed.body.get("datasets"),
+            Some(&Json::Array(vec![Json::str("notes")]))
+        );
+        // Another tenant sees nothing.
+        let other = send(&addr, &Request::new("rival", Verb::List));
+        assert_eq!(other.body.get("datasets"), Some(&Json::Array(vec![])));
+        let missing = send(&addr, &Request::new("rival", Verb::Get).with_name("notes"));
+        assert_eq!(missing.code, ErrorCode::NotFound);
+        assert!(send(&addr, &Request::new("acme", Verb::Del).with_name("notes")).is_ok());
+        let gone = send(&addr, &Request::new("acme", Verb::Get).with_name("notes"));
+        assert_eq!(gone.code, ErrorCode::NotFound);
+        let report = h.join().unwrap();
+        assert!(report.drained, "{report:?}");
+        assert!(report.admission.is_conserved());
+        assert_eq!(report.worker_panics, 0);
+    }
+
+    #[test]
+    fn health_and_stats_and_metrics_respond() {
+        let h = start_default(ServerConfig::default());
+        let addr = h.addr();
+        let health = send(&addr, &Request::new("t", Verb::Health));
+        assert_eq!(health.body.get("status"), Some(&Json::str("ok")));
+        assert!(health.cost_us >= 50);
+        let stats = send(&addr, &Request::new("t", Verb::Stats));
+        assert!(stats.is_ok());
+        let metrics = send(&addr, &Request::new("t", Verb::Metrics));
+        let text = metrics.body.get("prometheus").and_then(Json::as_str).unwrap_or("");
+        assert!(text.contains("lake_server_requests_total"), "{text}");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn chaos_verbs_are_rejected_unless_enabled() {
+        let h = start_default(ServerConfig::default());
+        let addr = h.addr();
+        let r = send(&addr, &Request::new("t", Verb::Flaky));
+        assert_eq!(r.code, ErrorCode::BadRequest);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn drain_verb_flips_the_server_into_draining() {
+        let h = start_default(ServerConfig::default());
+        let addr = h.addr();
+        assert!(send(&addr, &Request::new("ops", Verb::Drain)).is_ok());
+        assert!(h.is_draining());
+        let report = h.join().unwrap();
+        assert!(report.drained);
+        assert!(report.admission.is_conserved());
+    }
+
+    #[test]
+    fn bad_requests_get_typed_responses() {
+        let h = start_default(ServerConfig::default());
+        let addr = h.addr();
+        let bad_tenant = send(&addr, &Request::new("no colons allowed!", Verb::Health));
+        assert_eq!(bad_tenant.code, ErrorCode::BadRequest);
+        let bad_kind = send(
+            &addr,
+            &Request::new("t", Verb::Put).with_name("x").with_kind("parquet"),
+        );
+        assert_eq!(bad_kind.code, ErrorCode::BadRequest);
+        h.join().unwrap();
+    }
+}

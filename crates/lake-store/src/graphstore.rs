@@ -96,6 +96,15 @@ impl GraphStore {
         self.graphs.read().keys().cloned().collect()
     }
 
+    /// Remove a named graph.
+    pub fn drop_graph(&self, name: &str) -> Result<()> {
+        self.graphs
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| LakeError::not_found(name))
+    }
+
     /// Run `f` over a named graph without cloning it.
     pub fn with_graph<R>(&self, name: &str, f: impl FnOnce(&PropertyGraph) -> R) -> Result<R> {
         let graphs = self.graphs.read();

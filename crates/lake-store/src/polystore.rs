@@ -230,6 +230,23 @@ impl Polystore {
         })
     }
 
+    /// Remove a dataset by id, wherever it lives, releasing both the
+    /// placement entry and the substrate object. Multi-tenant servers
+    /// lean on this for namespace deletion: a tenant's datasets are
+    /// stored under scoped locations, so removal never touches another
+    /// tenant's objects.
+    pub fn remove(&self, id: DatasetId) -> Result<Placement> {
+        let p = self.placement(id)?;
+        match p.store {
+            StoreKind::Relational => self.relational.drop_table(&p.location)?,
+            StoreKind::Document => self.documents.drop_collection(&p.location)?,
+            StoreKind::Graph => self.graphs.drop_graph(&p.location)?,
+            StoreKind::File => self.run_retry(|| self.files.delete(&p.location))?,
+        }
+        self.placements.write().remove(&id);
+        Ok(p)
+    }
+
     /// Count of datasets per store kind — for architecture demos.
     pub fn placement_summary(&self) -> BTreeMap<&'static str, usize> {
         let mut out = BTreeMap::new();
@@ -333,6 +350,25 @@ mod tests {
         let stats = ps.retry_stats();
         assert_eq!(stats.retries, 2, "one put and one get transient absorbed");
         assert_eq!(stats.gave_up, 0);
+    }
+
+    #[test]
+    fn remove_releases_every_substrate() {
+        let ps = Polystore::new();
+        ps.store(DatasetId(1), "tab", Dataset::Table(table())).unwrap();
+        ps.store(DatasetId(2), "docs", Dataset::Documents(vec![Json::Num(1.0)])).unwrap();
+        ps.store(DatasetId(3), "g", Dataset::Graph(graph_of(&[("a", "r", "b")]))).unwrap();
+        ps.store(DatasetId(4), "l", Dataset::Log(vec!["x".into()])).unwrap();
+        for id in 1..=4u64 {
+            let p = ps.remove(DatasetId(id)).unwrap();
+            assert!(!p.location.is_empty());
+            assert!(ps.retrieve(DatasetId(id)).is_err(), "id {id} still retrievable");
+        }
+        assert!(ps.placement_summary().is_empty());
+        assert!(ps.relational.table_names().is_empty());
+        assert!(ps.graphs.graph_names().is_empty());
+        // Removing twice is a typed NotFound, not a panic.
+        assert!(matches!(ps.remove(DatasetId(1)), Err(LakeError::NotFound(_))));
     }
 
     #[test]

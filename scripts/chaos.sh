@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Chaos gate: scripted fault-injection scenarios against the lakehouse
-# ACID protocol (crates/lake-house/tests/chaos.rs) and the federated
+# ACID protocol (crates/lake-house/tests/chaos.rs), the federated
 # mediator's degradation ladder (crates/lake-query/tests/chaos.rs),
-# plus the fault-store, fault-source, retry-policy, and circuit-breaker
-# unit suites they build on.
+# and the multi-tenant server under FaultStore swarms
+# (crates/lake-server/tests/chaos.rs), plus the fault-store,
+# fault-source, retry-policy, and circuit-breaker unit suites they
+# build on.
 #
 # Every seeded scenario replays under the three fixed seeds compiled
 # into the suites — 7, 42, 1337 — and asserts determinism by running the
@@ -21,6 +23,11 @@ cargo test -q -p lake-core sync::
 
 cargo test -q -p lake-house --test chaos
 cargo test -q -p lake-query --test chaos
+# Server under chaos: 200-client seeded swarms against FaultStore
+# storage — panic isolation, drain-under-load, greedy-tenant quota
+# arithmetic, breaker isolation, and byte-identical replay.
+cargo test -q -p lake-server --test chaos
+cargo test -q -p lake-server --test quota_prop
 cargo test -q -p lake-store fault::
 cargo test -q -p lake-core retry::
 cargo test -q -p lake-core --test retry_prop

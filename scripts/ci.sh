@@ -2,8 +2,11 @@
 # Tier-1 verification chain for the rustlake workspace:
 # build, test, the repo-native static-analysis gate (including the
 # float-ordering rule), the fault-injection chaos gate, the
-# observability smoke gate, then the parallel-determinism gate
-# (e15 asserts parallel results are bit-identical to sequential).
+# observability smoke gate, the server smoke gate (boot, every verb,
+# metrics scrape, SIGTERM drain), then the parallel-determinism gate
+# (e15 asserts parallel results are bit-identical to sequential) and
+# the server chaos bench (e16 asserts swarm reports replay
+# byte-identically and records BENCH_server.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,4 +20,6 @@ mkdir -p target
 cargo run -q -p lake-lint -- check --json > target/lake-lint-report.json
 ./scripts/chaos.sh
 ./scripts/obs.sh
+./scripts/server.sh
 cargo run --release -p lake-bench --bin e15_parallel
+cargo run --release -p lake-bench --bin e16_server

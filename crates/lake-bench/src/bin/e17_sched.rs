@@ -1,0 +1,190 @@
+//! E17 — workload scheduling policies on the lake simulator, recorded to
+//! `BENCH_sched.json`.
+//!
+//! The bench captures a seeded workload trace from a live `lake-server`
+//! swarm, adds three synthetic shapes (uniform, bursty, heavy-tailed),
+//! and replays all four under all four policies (FIFO, SJF, fair share,
+//! EDF) on the discrete-event simulator. Three gates guard the artifact:
+//!
+//! 1. **Replay** — the full scenario runs twice and the policy tables
+//!    must be byte-identical; the comparison also re-runs under a fixed
+//!    single host worker and must not change a byte (the table is a pure
+//!    function of the traces, not of fan-out).
+//! 2. **Calibration** — the captured trace's cost percentiles must agree
+//!    with the swarm's measured virtual-cost percentiles within ±10%
+//!    (the residual is the `not_found` slice: measurement covers `ok`
+//!    responses, the trace covers every offered request).
+//! 3. **Conservation** — every (trace × policy) cell satisfies
+//!    `submitted == completed + rejected`.
+
+use lake_core::{Parallelism, SystemClock};
+use lake_obs::MetricsRegistry;
+use lake_sched::{
+    compare, synthesize, CostModel, Job, PolicyKind, PolicyTable, SimConfig, TraceShape,
+};
+use lake_server::{run_swarm_traced, LakeServer, ServerConfig, SwarmConfig, SwarmReport};
+use lake_store::polystore::Polystore;
+use std::sync::Arc;
+
+const CLIENTS: usize = 48;
+const REQUESTS_PER_CLIENT: usize = 16;
+const TENANTS: usize = 8;
+const SEED: u64 = 42;
+const SYNTH_JOBS: usize = 400;
+const DEADLINE_SLACK: u64 = 4;
+const SIM_WORKERS: usize = 8;
+const TOLERANCE_PERCENT: u64 = 10;
+
+fn swarm_config() -> SwarmConfig {
+    SwarmConfig {
+        clients: CLIENTS,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        tenants: TENANTS,
+        seed: SEED,
+        payload_len: 96,
+        ..SwarmConfig::default()
+    }
+}
+
+struct Scenario {
+    report: SwarmReport,
+    trace_json: String,
+    sim_p50: u64,
+    sim_p99: u64,
+    table: PolicyTable,
+}
+
+/// One full scenario: live swarm capture, synthetic shapes, the policy
+/// cross product under the session's host parallelism.
+fn run_once(host_par: Parallelism) -> Scenario {
+    let registry = Arc::new(MetricsRegistry::new());
+    let cfg = ServerConfig { queue_capacity: 1_024, ..ServerConfig::default() };
+    let handle = LakeServer::start(
+        cfg,
+        Arc::new(Polystore::new()),
+        Arc::clone(&registry),
+        Arc::new(SystemClock),
+    )
+    .expect("server start");
+    let (report, trace) = run_swarm_traced(&handle.addr(), &swarm_config());
+    let drain = handle.join().expect("drain");
+    assert!(drain.drained && drain.worker_panics == 0, "{drain:?}");
+
+    let (sim_p50, sim_p99) = trace.cost_percentiles();
+    let model = CostModel::server_default();
+    let mut traces: Vec<(String, Vec<Job>)> =
+        vec![("swarm".to_string(), trace.to_jobs(Some(DEADLINE_SLACK)))];
+    for shape in [TraceShape::Uniform, TraceShape::Bursty, TraceShape::HeavyTail] {
+        let t = synthesize(shape, SEED, SYNTH_JOBS, TENANTS, &model);
+        traces.push((shape.name().to_string(), t.to_jobs(Some(DEADLINE_SLACK))));
+    }
+    let table = compare(
+        &traces,
+        &PolicyKind::all(),
+        &SimConfig { workers: SIM_WORKERS, queue_capacity: 0 },
+        host_par,
+    );
+    Scenario {
+        report,
+        trace_json: trace.to_json().to_string(),
+        sim_p50,
+        sim_p99,
+        table,
+    }
+}
+
+fn within_tolerance(a: u64, b: u64) -> bool {
+    let hi = a.max(b);
+    let lo = a.min(b);
+    hi.saturating_sub(lo).saturating_mul(100) <= hi.saturating_mul(TOLERANCE_PERCENT)
+}
+
+fn main() {
+    println!("E17 — lake workload scheduling on the discrete-event simulator");
+    println!(
+        "  swarm: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests, {TENANTS} tenants, seed {SEED}"
+    );
+    println!(
+        "  replay: 4 traces x 4 policies on {SIM_WORKERS} simulated workers, deadline slack {DEADLINE_SLACK}"
+    );
+
+    let first = run_once(Parallelism::auto());
+    let second = run_once(Parallelism::auto());
+    let solo = run_once(Parallelism::fixed(1));
+
+    // Gate 1a: the whole scenario replays byte-identically.
+    let table_a = first.table.to_json().to_string();
+    if table_a != second.table.to_json().to_string() {
+        eprintln!("REPLAY MISMATCH between two same-seed runs");
+        std::process::exit(1);
+    }
+    if first.trace_json != second.trace_json {
+        eprintln!("TRACE MISMATCH between two same-seed captures");
+        std::process::exit(1);
+    }
+    // Gate 1b: host fan-out cannot perturb the table.
+    if table_a != solo.table.to_json().to_string() {
+        eprintln!("HOST-WORKER MISMATCH: fixed(1) table differs from auto table");
+        std::process::exit(1);
+    }
+
+    // Gate 2: calibration against the measured swarm percentiles.
+    let (p50, p99) = (first.report.p50_us, first.report.p99_us);
+    if !within_tolerance(first.sim_p50, p50) || !within_tolerance(first.sim_p99, p99) {
+        eprintln!(
+            "CALIBRATION DRIFT beyond {TOLERANCE_PERCENT}%: simulated p50/p99 {}/{} vs measured {}/{}",
+            first.sim_p50, first.sim_p99, p50, p99
+        );
+        std::process::exit(1);
+    }
+
+    // Gate 3: conservation in every cell.
+    for row in &first.table.rows {
+        if !row.result.is_conserved() {
+            eprintln!("CONSERVATION BROKE in {}/{}: {row:?}", row.trace, row.result.policy);
+            std::process::exit(1);
+        }
+    }
+
+    // Record the run into an obs registry (the `lake sched` CLI surfaces
+    // the same family) and sanity-check one counter.
+    let registry = MetricsRegistry::new();
+    first.table.record_to(&registry);
+    let per_policy_jobs: u64 = first
+        .table
+        .rows
+        .iter()
+        .filter(|r| r.result.policy == "fifo")
+        .map(|r| r.result.submitted)
+        .sum();
+    let counted =
+        registry.snapshot().counter_value_with("lake_sched_jobs_total", &[("policy", "fifo")]);
+    if counted != per_policy_jobs {
+        eprintln!("metrics drifted from the table: {counted} vs {per_policy_jobs}");
+        std::process::exit(1);
+    }
+
+    println!();
+    print!("{}", first.table.render());
+    println!(
+        "\n  calibration: simulated p50/p99 {}/{}us vs measured {}/{}us (within {TOLERANCE_PERCENT}%)",
+        first.sim_p50, first.sim_p99, p50, p99
+    );
+    println!("  replay: byte-identical across two runs and host worker counts");
+
+    let payload = lake_core::Json::obj(vec![
+        ("measured_p50_us", lake_core::Json::Num(p50 as f64)),
+        ("measured_p99_us", lake_core::Json::Num(p99 as f64)),
+        ("simulated_p50_us", lake_core::Json::Num(first.sim_p50 as f64)),
+        ("simulated_p99_us", lake_core::Json::Num(first.sim_p99 as f64)),
+        ("seed", lake_core::Json::Num(SEED as f64)),
+        ("sim_workers", lake_core::Json::Num(SIM_WORKERS as f64)),
+        ("table", first.table.to_json()),
+        ("tolerance_percent", lake_core::Json::Num(TOLERANCE_PERCENT as f64)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+    let mut text = payload.to_string();
+    text.push('\n');
+    std::fs::write(out, text).expect("write BENCH_sched.json");
+    println!("  wrote {out}");
+}

@@ -6,7 +6,7 @@
 //! |------|-----------------------------------|--------|
 //! | 0    | core model                        | `lake-core` |
 //! | 1    | storage & primitives              | `lake-formats`, `lake-store`, `lake-index`, `lake-ml` |
-//! | 2    | ingestion / maintenance / exploration functions | `lake-ingest`, `lake-discovery`, `lake-organize`, `lake-integrate`, `lake-maintain`, `lake-query`, `lake-house` |
+//! | 2    | ingestion / maintenance / exploration functions | `lake-ingest`, `lake-discovery`, `lake-organize`, `lake-integrate`, `lake-maintain`, `lake-query`, `lake-house`, `lake-sched` |
 //! | 3    | facade & tooling                  | `lake`, `lake-server`, `lake-bench`, `lake-lint` |
 //!
 //! A crate may depend only on crates of its own tier or below (same-tier
@@ -43,6 +43,7 @@ pub const TIERS: &[(&str, u8)] = &[
     ("lake-maintain", 2),
     ("lake-query", 2),
     ("lake-house", 2),
+    ("lake-sched", 2),
     ("lake-server", 3),
     ("lake", 3),
     ("lake-bench", 3),

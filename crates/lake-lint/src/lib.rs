@@ -141,9 +141,14 @@ impl fmt::Display for Finding {
 /// Path prefixes (repo-relative, `/`-separated) where the slice-indexing
 /// rule applies: the ACID commit / time-travel paths whose abort-freedom
 /// guarantees depend on no out-of-bounds panics, plus lake-obs — metric
-/// recording sits on every instrumented hot path and must never abort it.
-pub const HOT_PATHS: &[&str] =
-    &["crates/lake-house/src/", "crates/lake-obs/src/", "crates/lake-server/src/"];
+/// recording sits on every instrumented hot path and must never abort it —
+/// and lake-sched, whose event loop must drain every schedule it is handed.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/lake-house/src/",
+    "crates/lake-obs/src/",
+    "crates/lake-sched/src/",
+    "crates/lake-server/src/",
+];
 
 /// Directory names whose contents are exempt from source lints.
 const EXEMPT_DIRS: &[&str] = &["tests", "benches", "bin", "examples", "fixtures", "target"];

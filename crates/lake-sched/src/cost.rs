@@ -1,0 +1,189 @@
+//! The job model and the JOSIE-style cost model.
+//!
+//! A [`Job`] is one unit of lake work — a discovery scan, a query, an
+//! ingest, or a maintenance pass — with a virtual submit time and a
+//! virtual service demand. Service demands come from a [`CostModel`]:
+//! a fixed per-kind base charge plus a linear data-volume term, the same
+//! shape as JOSIE's prefix-cost estimate (base work per candidate set +
+//! work proportional to posting bytes scanned) and, deliberately, the
+//! same shape as `lake-server`'s `virtual_cost_us` latency model.
+//!
+//! [`CostModel::server_default`] is *calibrated* against the server: for
+//! each kind it uses the base charge of the server verb that kind maps
+//! back to (see [`JobKind::from_verb`]) and the server's `bytes / 2`
+//! volume term, so a replayed server trace simulates with exactly the
+//! service times the swarm measured. The parity test lives in
+//! `crates/lake-server/tests/sched_calibration.rs`, where both sides of
+//! the equation are importable.
+
+/// The four workload classes the survey's shared-service framing names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JobKind {
+    /// Dataset/table discovery: related-table scans, listings, search.
+    Discovery,
+    /// Point and federated reads.
+    Query,
+    /// Writes: dataset puts, deletes, streaming flushes.
+    Ingest,
+    /// Everything operational: stats, metrics scrapes, compaction.
+    Maintain,
+}
+
+impl JobKind {
+    /// All kinds, in canonical order.
+    pub fn all() -> [JobKind; 4] {
+        [JobKind::Discovery, JobKind::Query, JobKind::Ingest, JobKind::Maintain]
+    }
+
+    /// Stable label used in traces, tables, and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Discovery => "discovery",
+            JobKind::Query => "query",
+            JobKind::Ingest => "ingest",
+            JobKind::Maintain => "maintain",
+        }
+    }
+
+    /// Map a `lake-server` protocol verb (or a job-kind label) onto a
+    /// workload class. Unknown labels land in `Maintain`, the cheapest
+    /// class, so a trace from a newer server degrades mildly instead of
+    /// failing to replay.
+    pub fn from_verb(verb: &str) -> JobKind {
+        match verb {
+            "list" | "search" | "discovery" => JobKind::Discovery,
+            "get" | "query" | "select" => JobKind::Query,
+            "put" | "del" | "ingest" => JobKind::Ingest,
+            _ => JobKind::Maintain,
+        }
+    }
+}
+
+/// One schedulable unit of work, in virtual microseconds throughout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Unique per simulation; ties in every policy break on this, which
+    /// is what makes replays order-deterministic.
+    pub id: u64,
+    /// Owning tenant (fairness accounting groups by this).
+    pub tenant: String,
+    /// Workload class.
+    pub kind: JobKind,
+    /// Virtual arrival time.
+    pub submit_us: u64,
+    /// Virtual service demand on one worker.
+    pub service_us: u64,
+    /// Completion deadline, if the job has one (deadline-aware policy
+    /// orders by it; every policy counts misses against it).
+    pub deadline_us: Option<u64>,
+}
+
+impl Job {
+    /// A job with no deadline.
+    pub fn new(id: u64, tenant: &str, kind: JobKind, submit_us: u64, service_us: u64) -> Job {
+        Job {
+            id,
+            tenant: tenant.to_string(),
+            kind,
+            submit_us,
+            service_us,
+            deadline_us: None,
+        }
+    }
+
+    /// Attach a deadline of `slack` × service after submit: a job is
+    /// allowed `slack − 1` service times of queueing before it misses.
+    pub fn with_deadline_slack(mut self, slack: u64) -> Job {
+        self.deadline_us =
+            Some(self.submit_us.saturating_add(self.service_us.saturating_mul(slack.max(1))));
+        self
+    }
+}
+
+/// Per-kind base charge + linear volume term, in virtual microseconds:
+/// `service = base(kind) + bytes * num / den`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Base charge for a discovery job.
+    pub discovery_base_us: u64,
+    /// Base charge for a query job.
+    pub query_base_us: u64,
+    /// Base charge for an ingest job.
+    pub ingest_base_us: u64,
+    /// Base charge for a maintenance job.
+    pub maintain_base_us: u64,
+    /// Volume term numerator (microseconds per `den` bytes).
+    pub per_byte_num: u64,
+    /// Volume term denominator (never 0; [`CostModel::service_us`] guards).
+    pub per_byte_den: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::server_default()
+    }
+}
+
+impl CostModel {
+    /// The model calibrated against `lake_server::protocol::virtual_cost_us`:
+    /// each kind's base is the base charge of its representative server
+    /// verb (`list` → discovery, `get` → query, `put` → ingest, `stats` →
+    /// maintain) and the volume term is the server's `bytes / 2`. The
+    /// parity is pinned by `crates/lake-server/tests/sched_calibration.rs`.
+    pub fn server_default() -> CostModel {
+        CostModel {
+            discovery_base_us: 250,
+            query_base_us: 400,
+            ingest_base_us: 600,
+            maintain_base_us: 150,
+            per_byte_num: 1,
+            per_byte_den: 2,
+        }
+    }
+
+    /// Virtual service demand for `bytes` of data under `kind`.
+    pub fn service_us(&self, kind: JobKind, bytes: u64) -> u64 {
+        let base = match kind {
+            JobKind::Discovery => self.discovery_base_us,
+            JobKind::Query => self.query_base_us,
+            JobKind::Ingest => self.ingest_base_us,
+            JobKind::Maintain => self.maintain_base_us,
+        };
+        base.saturating_add(
+            bytes.saturating_mul(self.per_byte_num) / self.per_byte_den.max(1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_map_to_kinds() {
+        assert_eq!(JobKind::from_verb("list"), JobKind::Discovery);
+        assert_eq!(JobKind::from_verb("get"), JobKind::Query);
+        assert_eq!(JobKind::from_verb("put"), JobKind::Ingest);
+        assert_eq!(JobKind::from_verb("del"), JobKind::Ingest);
+        assert_eq!(JobKind::from_verb("stats"), JobKind::Maintain);
+        assert_eq!(JobKind::from_verb("health"), JobKind::Maintain);
+        assert_eq!(JobKind::from_verb("anything-else"), JobKind::Maintain);
+    }
+
+    #[test]
+    fn model_is_monotone_in_bytes_and_matches_server_shape() {
+        let m = CostModel::server_default();
+        assert_eq!(m.service_us(JobKind::Query, 0), 400);
+        assert_eq!(m.service_us(JobKind::Query, 100), 450);
+        assert_eq!(m.service_us(JobKind::Ingest, 100), 650);
+        assert!(m.service_us(JobKind::Discovery, 1000) > m.service_us(JobKind::Discovery, 10));
+    }
+
+    #[test]
+    fn deadline_slack_is_service_multiples_after_submit() {
+        let j = Job::new(1, "t", JobKind::Query, 100, 400).with_deadline_slack(4);
+        assert_eq!(j.deadline_us, Some(100 + 1600));
+        let zero_slack = Job::new(2, "t", JobKind::Query, 0, 10).with_deadline_slack(0);
+        assert_eq!(zero_slack.deadline_us, Some(10), "slack clamps to 1");
+    }
+}

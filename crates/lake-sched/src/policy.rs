@@ -1,0 +1,287 @@
+//! Pluggable scheduling policies behind the [`SchedPolicy`] trait.
+//!
+//! A policy owns the ready queue: the simulator hands it every arrived
+//! job ([`SchedPolicy::submit`]) and asks for the next job to run when a
+//! worker frees up ([`SchedPolicy::next`]). All four built-ins are
+//! non-preemptive and **deterministic**: every ordering ties on the
+//! job's unique id, so a replay of the same job multiset produces the
+//! same dispatch sequence on every run and host worker count.
+//!
+//! * [`FifoPolicy`] — arrival order; the baseline every server queue is.
+//! * [`SjfPolicy`] — shortest service demand first; minimizes mean
+//!   sojourn on heavy-tailed mixes at the price of starving elephants.
+//! * [`FairSharePolicy`] — round-robin across tenants (one job per
+//!   tenant per cycle, FIFO within a tenant); bounds how far one greedy
+//!   tenant can push everyone else's delay.
+//! * [`DeadlinePolicy`] — earliest deadline first; jobs without
+//!   deadlines run after every deadlined job, in arrival order.
+
+use crate::cost::Job;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// The contract the simulator drives: buffer arrivals, yield the next
+/// job to dispatch. `now_us` is passed so future policies can be
+/// time-aware (aging, deadline dropping); the built-ins ignore it.
+pub trait SchedPolicy {
+    /// Stable policy label used in tables and metrics.
+    fn name(&self) -> &'static str;
+
+    /// Accept an arrived job into the ready queue.
+    fn submit(&mut self, job: Job);
+
+    /// Yield the next job to run at virtual time `now_us`, if any.
+    fn next(&mut self, now_us: u64) -> Option<Job>;
+
+    /// Jobs currently queued (admission capacity checks).
+    fn queued(&self) -> usize;
+}
+
+/// First-in, first-out.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    queue: VecDeque<Job>,
+}
+
+impl SchedPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn submit(&mut self, job: Job) {
+        self.queue.push_back(job);
+    }
+
+    fn next(&mut self, _now_us: u64) -> Option<Job> {
+        self.queue.pop_front()
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Shortest job (service demand) first, ties by id.
+#[derive(Debug, Default)]
+pub struct SjfPolicy {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    jobs: BTreeMap<u64, Job>,
+}
+
+impl SchedPolicy for SjfPolicy {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn submit(&mut self, job: Job) {
+        self.heap.push(Reverse((job.service_us, job.id)));
+        self.jobs.insert(job.id, job);
+    }
+
+    fn next(&mut self, _now_us: u64) -> Option<Job> {
+        let Reverse((_, id)) = self.heap.pop()?;
+        self.jobs.remove(&id)
+    }
+
+    fn queued(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+/// Round-robin fair share across tenants: cycle tenants in name order,
+/// serving one job (FIFO within the tenant) per visit.
+#[derive(Debug, Default)]
+pub struct FairSharePolicy {
+    queues: BTreeMap<String, VecDeque<Job>>,
+    /// Tenant served most recently; the next pick starts strictly after
+    /// it in cyclic name order.
+    cursor: Option<String>,
+    queued: usize,
+}
+
+impl SchedPolicy for FairSharePolicy {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn submit(&mut self, job: Job) {
+        self.queues.entry(job.tenant.clone()).or_default().push_back(job);
+        self.queued += 1;
+    }
+
+    fn next(&mut self, _now_us: u64) -> Option<Job> {
+        if self.queued == 0 {
+            return None;
+        }
+        // Candidate tenants strictly after the cursor, then wrap. BTreeMap
+        // range scans keep this deterministic in tenant-name order.
+        let after: Vec<String> = match &self.cursor {
+            Some(c) => self
+                .queues
+                .range::<String, _>((
+                    std::ops::Bound::Excluded(c.clone()),
+                    std::ops::Bound::Unbounded,
+                ))
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(t, _)| t.clone())
+                .take(1)
+                .collect(),
+            None => Vec::new(),
+        };
+        let tenant = after.into_iter().next().or_else(|| {
+            self.queues
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(t, _)| t.clone())
+                .next()
+        })?;
+        let job = self.queues.get_mut(&tenant).and_then(VecDeque::pop_front)?;
+        self.cursor = Some(tenant);
+        self.queued -= 1;
+        Some(job)
+    }
+
+    fn queued(&self) -> usize {
+        self.queued
+    }
+}
+
+/// Earliest deadline first; deadline-free jobs sort after all deadlined
+/// jobs (treated as deadline `u64::MAX`), then by submit time, then id.
+#[derive(Debug, Default)]
+pub struct DeadlinePolicy {
+    heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    jobs: BTreeMap<u64, Job>,
+}
+
+impl SchedPolicy for DeadlinePolicy {
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+
+    fn submit(&mut self, job: Job) {
+        let key = (job.deadline_us.unwrap_or(u64::MAX), job.submit_us, job.id);
+        self.heap.push(Reverse(key));
+        self.jobs.insert(job.id, job);
+    }
+
+    fn next(&mut self, _now_us: u64) -> Option<Job> {
+        let Reverse((_, _, id)) = self.heap.pop()?;
+        self.jobs.remove(&id)
+    }
+
+    fn queued(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+/// Nameable policy constructors — the comparison harness fans out over
+/// these, building a fresh stateful policy per simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`FifoPolicy`]
+    Fifo,
+    /// [`SjfPolicy`]
+    Sjf,
+    /// [`FairSharePolicy`]
+    FairShare,
+    /// [`DeadlinePolicy`]
+    Deadline,
+}
+
+impl PolicyKind {
+    /// Every built-in policy, in canonical table order.
+    pub fn all() -> [PolicyKind; 4] {
+        [PolicyKind::Fifo, PolicyKind::Sjf, PolicyKind::FairShare, PolicyKind::Deadline]
+    }
+
+    /// Stable label (matches the built policy's [`SchedPolicy::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Sjf => "sjf",
+            PolicyKind::FairShare => "fair",
+            PolicyKind::Deadline => "deadline",
+        }
+    }
+
+    /// Construct a fresh policy instance.
+    pub fn build(self) -> Box<dyn SchedPolicy + Send> {
+        match self {
+            PolicyKind::Fifo => Box::new(FifoPolicy::default()),
+            PolicyKind::Sjf => Box::new(SjfPolicy::default()),
+            PolicyKind::FairShare => Box::new(FairSharePolicy::default()),
+            PolicyKind::Deadline => Box::new(DeadlinePolicy::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::JobKind;
+
+    fn job(id: u64, tenant: &str, submit: u64, service: u64) -> Job {
+        Job::new(id, tenant, JobKind::Query, submit, service)
+    }
+
+    fn drain(p: &mut dyn SchedPolicy) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(j) = p.next(0) {
+            out.push(j.id);
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_yields_submission_order() {
+        let mut p = FifoPolicy::default();
+        for id in [3u64, 1, 2] {
+            p.submit(job(id, "t", id * 10, 100));
+        }
+        assert_eq!(p.queued(), 3);
+        assert_eq!(drain(&mut p), vec![3, 1, 2]);
+        assert_eq!(p.queued(), 0);
+    }
+
+    #[test]
+    fn sjf_yields_shortest_first_with_id_ties() {
+        let mut p = SjfPolicy::default();
+        p.submit(job(1, "t", 0, 500));
+        p.submit(job(2, "t", 0, 100));
+        p.submit(job(3, "t", 0, 100));
+        p.submit(job(4, "t", 0, 50));
+        assert_eq!(drain(&mut p), vec![4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn fair_share_cycles_tenants_in_name_order() {
+        let mut p = FairSharePolicy::default();
+        p.submit(job(1, "b", 0, 1));
+        p.submit(job(2, "a", 0, 1));
+        p.submit(job(3, "a", 0, 1));
+        p.submit(job(4, "c", 0, 1));
+        p.submit(job(5, "a", 0, 1));
+        // Cycle: a, b, c, a (wrap), a.
+        assert_eq!(drain(&mut p), vec![2, 1, 4, 3, 5]);
+    }
+
+    #[test]
+    fn deadline_orders_by_deadline_then_submit() {
+        let mut p = DeadlinePolicy::default();
+        p.submit(job(1, "t", 0, 100)); // no deadline → last
+        p.submit(job(2, "t", 0, 100).with_deadline_slack(9)); // deadline 900
+        p.submit(job(3, "t", 0, 100).with_deadline_slack(2)); // deadline 200
+        p.submit(job(4, "t", 0, 100)); // no deadline, later id
+        assert_eq!(drain(&mut p), vec![3, 2, 1, 4]);
+    }
+
+    #[test]
+    fn kinds_build_their_named_policies() {
+        for kind in PolicyKind::all() {
+            let p = kind.build();
+            assert_eq!(p.name(), kind.name());
+            assert_eq!(p.queued(), 0);
+        }
+    }
+}

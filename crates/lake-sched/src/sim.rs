@@ -1,0 +1,482 @@
+//! The discrete-event engine: virtual time, a binary-heap event queue,
+//! simulated workers, and per-run statistics.
+//!
+//! Eudoxia-style: the lake is modeled as `workers` identical servers fed
+//! by one ready queue owned by a [`SchedPolicy`]. Two event kinds exist —
+//! a job **arrival** (enters the queue, or is rejected if the queue is at
+//! capacity) and a job **completion** (frees its worker). The event heap
+//! orders by `(virtual time, insertion sequence)`, so simultaneous events
+//! process in a deterministic order and the whole run is a pure function
+//! of `(config, policy, job list)` — no wall clock, no thread timing.
+//!
+//! Virtual time *is* the injectable [`lake_core::ManualClock`]: the
+//! engine advances the clock it is given as it pops events, so spans or
+//! metrics recorded against that clock during a simulation see the same
+//! timeline the simulator reports. The `sim_prop` suite pins the two
+//! invariants everything else leans on: events never process out of
+//! virtual-time order, and jobs are conserved (`submitted == completed +
+//! rejected`).
+
+use crate::cost::Job;
+use crate::policy::SchedPolicy;
+use crate::trace::percentile;
+use lake_core::retry::Clock;
+use lake_core::ManualClock;
+use lake_obs::{MetricsRegistry, MICROS_TO_SECONDS};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Shape of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Simulated worker count (clamped to ≥ 1). Sized like the server's
+    /// pool — callers typically pass `Parallelism::workers()` output or a
+    /// fixed count for replay gates.
+    pub workers: usize,
+    /// Ready-queue capacity; `0` means unbounded. Arrivals beyond it are
+    /// rejected (typed, counted — never silently dropped), mirroring the
+    /// server's admission shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig { workers: 4, queue_capacity: 0 }
+    }
+}
+
+/// What one simulation run measured. All durations are virtual
+/// microseconds; everything is an integer so serialized tables are
+/// byte-stable (the fairness index is stored ×1000).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Which policy ran.
+    pub policy: String,
+    /// Simulated worker count.
+    pub workers: usize,
+    /// Jobs offered to the queue.
+    pub submitted: u64,
+    /// Jobs that finished service.
+    pub completed: u64,
+    /// Jobs rejected at the capacity bound (conservation:
+    /// `submitted == completed + rejected`).
+    pub rejected: u64,
+    /// Virtual time of the last processed event.
+    pub makespan_us: u64,
+    /// Mean sojourn (arrival → completion) over completed jobs.
+    pub mean_sojourn_us: u64,
+    /// Median sojourn.
+    pub p50_sojourn_us: u64,
+    /// 99th-percentile sojourn.
+    pub p99_sojourn_us: u64,
+    /// Median service demand over completed jobs (calibration gate).
+    pub p50_service_us: u64,
+    /// 99th-percentile service demand.
+    pub p99_service_us: u64,
+    /// Completed jobs that finished after their deadline.
+    pub deadline_misses: u64,
+    /// Jain fairness index over per-tenant mean sojourn, ×1000 (1000 =
+    /// perfectly equal delay across tenants).
+    pub fairness_millis: u64,
+    /// Completed jobs per tenant.
+    pub per_tenant_completed: BTreeMap<String, u64>,
+    /// Sojourn of every completed job, sorted ascending.
+    pub sojourns_us: Vec<u64>,
+    /// Virtual time of every processed event, in processing order — the
+    /// `sim_prop` suite asserts this is non-decreasing.
+    pub event_times: Vec<u64>,
+}
+
+impl SimResult {
+    /// `submitted == completed + rejected` — no job is ever lost.
+    pub fn is_conserved(&self) -> bool {
+        self.submitted == self.completed.saturating_add(self.rejected)
+    }
+
+    /// Record this run into a metrics registry under the `lake_sched_*`
+    /// family, labeled by policy.
+    pub fn record_to(&self, registry: &MetricsRegistry) {
+        let labels = [("policy", self.policy.as_str())];
+        registry.counter_with("lake_sched_jobs_total", &labels).add(self.submitted);
+        registry.counter_with("lake_sched_completed_total", &labels).add(self.completed);
+        registry.counter_with("lake_sched_rejected_total", &labels).add(self.rejected);
+        registry
+            .counter_with("lake_sched_deadline_misses_total", &labels)
+            .add(self.deadline_misses);
+        registry
+            .gauge_with("lake_sched_fairness_millis", &labels)
+            .set(i64::try_from(self.fairness_millis).unwrap_or(i64::MAX));
+        let hist = registry.histogram_with("lake_sched_sojourn_seconds", &labels, MICROS_TO_SECONDS);
+        for s in &self.sojourns_us {
+            hist.observe(*s);
+        }
+    }
+}
+
+enum EventKind {
+    Arrival(Job),
+    Completion { worker: usize, job: Job },
+}
+
+struct Scheduled {
+    time_us: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Scheduled) -> bool {
+        (self.time_us, self.seq) == (other.time_us, other.seq)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Scheduled) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Scheduled) -> std::cmp::Ordering {
+        (self.time_us, self.seq).cmp(&(other.time_us, other.seq))
+    }
+}
+
+/// Run `jobs` under `policy` on `cfg.workers` simulated workers,
+/// advancing `clock` through virtual time. Jobs may arrive in any order;
+/// the heap serializes them. Returns the full measurement set.
+pub fn run(
+    cfg: &SimConfig,
+    policy: &mut dyn SchedPolicy,
+    jobs: Vec<Job>,
+    clock: &ManualClock,
+) -> SimResult {
+    let workers = cfg.workers.max(1);
+    let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::with_capacity(jobs.len() * 2);
+    let mut seq = 0u64;
+    for job in jobs {
+        heap.push(Reverse(Scheduled { time_us: job.submit_us, seq, kind: EventKind::Arrival(job) }));
+        seq += 1;
+    }
+
+    // Free workers, lowest id first, for a deterministic assignment.
+    let mut idle: BinaryHeap<Reverse<usize>> = (0..workers).map(Reverse).collect();
+    let origin_us = clock.now_micros();
+    let mut now_us = 0u64;
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    let mut deadline_misses = 0u64;
+    let mut sojourns_us: Vec<u64> = Vec::new();
+    let mut services_us: Vec<u64> = Vec::new();
+    let mut event_times: Vec<u64> = Vec::new();
+    let mut per_tenant_completed: BTreeMap<String, u64> = BTreeMap::new();
+    let mut per_tenant_sojourn: BTreeMap<String, u64> = BTreeMap::new();
+
+    while let Some(Reverse(ev)) = heap.pop() {
+        // The heap guarantees non-decreasing pop times; saturating keeps
+        // the engine total even if a caller hands in a corrupt schedule.
+        let delta = ev.time_us.saturating_sub(now_us);
+        clock.advance_micros(delta);
+        now_us = now_us.max(ev.time_us);
+        event_times.push(now_us);
+        match ev.kind {
+            EventKind::Arrival(job) => {
+                submitted += 1;
+                if cfg.queue_capacity > 0 && policy.queued() >= cfg.queue_capacity {
+                    rejected += 1;
+                } else {
+                    policy.submit(job);
+                }
+            }
+            EventKind::Completion { worker, job } => {
+                completed += 1;
+                let sojourn = now_us.saturating_sub(job.submit_us);
+                sojourns_us.push(sojourn);
+                services_us.push(job.service_us);
+                if job.deadline_us.is_some_and(|d| now_us > d) {
+                    deadline_misses += 1;
+                }
+                *per_tenant_completed.entry(job.tenant.clone()).or_insert(0) += 1;
+                let cell = per_tenant_sojourn.entry(job.tenant).or_insert(0);
+                *cell = cell.saturating_add(sojourn);
+                idle.push(Reverse(worker));
+            }
+        }
+        // Dispatch as many queued jobs as there are free workers.
+        while let Some(Reverse(worker)) = idle.pop() {
+            match policy.next(now_us) {
+                Some(job) => {
+                    let done_at = now_us.saturating_add(job.service_us);
+                    heap.push(Reverse(Scheduled {
+                        time_us: done_at,
+                        seq,
+                        kind: EventKind::Completion { worker, job },
+                    }));
+                    seq += 1;
+                }
+                None => {
+                    idle.push(Reverse(worker));
+                    break;
+                }
+            }
+        }
+    }
+
+    sojourns_us.sort_unstable();
+    services_us.sort_unstable();
+    let mean_sojourn_us = if sojourns_us.is_empty() {
+        0
+    } else {
+        sojourns_us.iter().fold(0u64, |a, &b| a.saturating_add(b)) / sojourns_us.len() as u64
+    };
+    let fairness_millis = jain_millis(&per_tenant_completed, &per_tenant_sojourn);
+    debug_assert_eq!(clock.now_micros().saturating_sub(origin_us), now_us);
+    SimResult {
+        policy: policy.name().to_string(),
+        workers,
+        submitted,
+        completed,
+        rejected,
+        makespan_us: now_us,
+        mean_sojourn_us,
+        p50_sojourn_us: percentile(&sojourns_us, 50),
+        p99_sojourn_us: percentile(&sojourns_us, 99),
+        p50_service_us: percentile(&services_us, 50),
+        p99_service_us: percentile(&services_us, 99),
+        deadline_misses,
+        fairness_millis,
+        per_tenant_completed,
+        sojourns_us,
+        event_times,
+    }
+}
+
+/// Jain's fairness index over per-tenant mean sojourn, scaled ×1000:
+/// `J = (Σx)² / (n·Σx²)` ∈ [1/n, 1]. 1000 means every tenant waits the
+/// same on average; small values mean a few tenants absorb all the delay.
+/// Tenants with no completions are excluded; an empty or zero-delay run
+/// is perfectly fair by convention.
+fn jain_millis(completed: &BTreeMap<String, u64>, sojourn_sums: &BTreeMap<String, u64>) -> u64 {
+    let means: Vec<f64> = completed
+        .iter()
+        .filter(|(_, c)| **c > 0)
+        .map(|(tenant, c)| {
+            let sum = sojourn_sums.get(tenant).copied().unwrap_or(0);
+            sum as f64 / *c as f64
+        })
+        .collect();
+    let n = means.len() as f64;
+    let sum: f64 = means.iter().sum();
+    let sum_sq: f64 = means.iter().map(|x| x * x).sum();
+    if means.is_empty() || sum_sq == 0.0 {
+        return 1000;
+    }
+    let j = (sum * sum) / (n * sum_sq);
+    // Clamp against float drift before scaling to integer millis.
+    (j.clamp(0.0, 1.0) * 1000.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::JobKind;
+    use crate::policy::{FairSharePolicy, FifoPolicy, PolicyKind, SjfPolicy};
+
+    fn job(id: u64, tenant: &str, submit: u64, service: u64) -> Job {
+        Job::new(id, tenant, JobKind::Query, submit, service)
+    }
+
+    #[test]
+    fn single_worker_fifo_serializes_jobs() {
+        let clock = ManualClock::new();
+        let jobs = vec![job(0, "a", 0, 100), job(1, "a", 10, 100), job(2, "a", 20, 100)];
+        let mut policy = FifoPolicy::default();
+        let r = run(&SimConfig { workers: 1, queue_capacity: 0 }, &mut policy, jobs, &clock);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.rejected, 0);
+        assert!(r.is_conserved());
+        // Back-to-back service: completions at 100, 200, 300.
+        assert_eq!(r.makespan_us, 300);
+        assert_eq!(r.sojourns_us, vec![100, 190, 280]);
+        assert_eq!(clock.now_micros(), 300, "clock advanced through virtual time");
+    }
+
+    #[test]
+    fn more_workers_shorten_the_makespan() {
+        let jobs: Vec<Job> = (0..8).map(|i| job(i, "a", 0, 100)).collect();
+        let one = run(
+            &SimConfig { workers: 1, queue_capacity: 0 },
+            &mut FifoPolicy::default(),
+            jobs.clone(),
+            &ManualClock::new(),
+        );
+        let four = run(
+            &SimConfig { workers: 4, queue_capacity: 0 },
+            &mut FifoPolicy::default(),
+            jobs,
+            &ManualClock::new(),
+        );
+        assert_eq!(one.makespan_us, 800);
+        assert_eq!(four.makespan_us, 200);
+    }
+
+    #[test]
+    fn capacity_bound_rejects_and_conserves() {
+        // 1 worker busy for 1000us; 10 arrivals at t=0..9 with queue cap 3:
+        // first occupies the worker, 3 queue, rest reject.
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, "a", i, 1_000)).collect();
+        let r = run(
+            &SimConfig { workers: 1, queue_capacity: 3 },
+            &mut FifoPolicy::default(),
+            jobs,
+            &ManualClock::new(),
+        );
+        assert_eq!(r.submitted, 10);
+        assert_eq!(r.completed, 4);
+        assert_eq!(r.rejected, 6);
+        assert!(r.is_conserved());
+    }
+
+    #[test]
+    fn sjf_beats_fifo_on_mean_sojourn_with_an_elephant() {
+        // A short blocker occupies the single worker; an elephant and a
+        // herd of mice queue behind it. FIFO then runs the elephant first
+        // (it arrived first) and every mouse waits; SJF runs the mice.
+        let mut jobs = vec![job(0, "a", 0, 50), job(1, "a", 1, 10_000)];
+        jobs.extend((2..21).map(|i| job(i, "a", 2, 100)));
+        let fifo = run(
+            &SimConfig { workers: 1, queue_capacity: 0 },
+            &mut FifoPolicy::default(),
+            jobs.clone(),
+            &ManualClock::new(),
+        );
+        let sjf = run(
+            &SimConfig { workers: 1, queue_capacity: 0 },
+            &mut SjfPolicy::default(),
+            jobs,
+            &ManualClock::new(),
+        );
+        assert!(
+            sjf.mean_sojourn_us < fifo.mean_sojourn_us / 2,
+            "sjf {} vs fifo {}",
+            sjf.mean_sojourn_us,
+            fifo.mean_sojourn_us
+        );
+        assert_eq!(sjf.makespan_us, fifo.makespan_us, "work conserved either way");
+    }
+
+    #[test]
+    fn fair_share_is_fairer_than_fifo_under_a_greedy_tenant() {
+        // Five tenants with equal demand (6 × 500us each), but tenant a
+        // submits its whole batch first. FIFO drains a's batch before
+        // touching anyone else; fair share cycles tenants, so per-tenant
+        // mean delay evens out and the Jain index rises.
+        let mut jobs: Vec<Job> = (0..6).map(|i| job(i, "a", 0, 500)).collect();
+        let mut id = 6u64;
+        for round in 0..6 {
+            for t in ["b", "c", "d", "e"] {
+                jobs.push(job(id, t, 1 + round, 500));
+                id += 1;
+            }
+        }
+        let fifo = run(
+            &SimConfig { workers: 2, queue_capacity: 0 },
+            &mut FifoPolicy::default(),
+            jobs.clone(),
+            &ManualClock::new(),
+        );
+        let fair = run(
+            &SimConfig { workers: 2, queue_capacity: 0 },
+            &mut FairSharePolicy::default(),
+            jobs,
+            &ManualClock::new(),
+        );
+        assert!(
+            fair.fairness_millis > fifo.fairness_millis,
+            "fair {} vs fifo {}",
+            fair.fairness_millis,
+            fifo.fairness_millis
+        );
+    }
+
+    #[test]
+    fn deadline_policy_misses_fewer_deadlines() {
+        // Two short blockers hold both workers; loose-deadline elephants
+        // then tight-deadline mice queue behind them. FIFO runs the
+        // elephants first and every mouse blows its deadline; EDF runs
+        // the mice first and they all make it.
+        let mut jobs: Vec<Job> = (0..2).map(|i| job(i, "a", 0, 100)).collect();
+        jobs.extend((2..8).map(|i| job(i, "a", 1, 2_000).with_deadline_slack(20)));
+        jobs.extend((8..20).map(|i| job(i, "a", 2, 100).with_deadline_slack(8)));
+        let fifo = run(
+            &SimConfig { workers: 2, queue_capacity: 0 },
+            &mut FifoPolicy::default(),
+            jobs.clone(),
+            &ManualClock::new(),
+        );
+        let mut edf = PolicyKind::Deadline.build();
+        let deadline = run(
+            &SimConfig { workers: 2, queue_capacity: 0 },
+            edf.as_mut(),
+            jobs,
+            &ManualClock::new(),
+        );
+        assert!(
+            deadline.deadline_misses < fifo.deadline_misses,
+            "edf {} vs fifo {}",
+            deadline.deadline_misses,
+            fifo.deadline_misses
+        );
+    }
+
+    #[test]
+    fn event_times_are_monotone_and_replays_are_identical() {
+        let trace = crate::trace::synthesize(
+            crate::trace::TraceShape::Bursty,
+            42,
+            300,
+            8,
+            &crate::cost::CostModel::server_default(),
+        );
+        let jobs = trace.to_jobs(Some(4));
+        for kind in PolicyKind::all() {
+            let a = run(
+                &SimConfig { workers: 8, queue_capacity: 0 },
+                kind.build().as_mut(),
+                jobs.clone(),
+                &ManualClock::new(),
+            );
+            let b = run(
+                &SimConfig { workers: 8, queue_capacity: 0 },
+                kind.build().as_mut(),
+                jobs.clone(),
+                &ManualClock::new(),
+            );
+            assert_eq!(a, b, "replay must be identical for {:?}", kind);
+            assert!(a.event_times.windows(2).all(|w| w[0] <= w[1]), "monotone time");
+            assert!(a.is_conserved());
+            assert_eq!(a.completed, 300);
+        }
+    }
+
+    #[test]
+    fn metrics_record_the_run() {
+        let registry = MetricsRegistry::new();
+        let jobs = vec![job(0, "a", 0, 100), job(1, "b", 0, 200)];
+        let r = run(
+            &SimConfig { workers: 1, queue_capacity: 0 },
+            &mut FifoPolicy::default(),
+            jobs,
+            &ManualClock::new(),
+        );
+        r.record_to(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value_with("lake_sched_jobs_total", &[("policy", "fifo")]), 2);
+        assert_eq!(
+            snap.counter_value_with("lake_sched_completed_total", &[("policy", "fifo")]),
+            2
+        );
+        assert!(snap.histogram("lake_sched_sojourn_seconds{policy=\"fifo\"}").is_some()
+            || snap.histogram("lake_sched_sojourn_seconds").is_some());
+    }
+}

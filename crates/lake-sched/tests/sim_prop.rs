@@ -1,0 +1,113 @@
+//! Property suite for the simulator's three load-bearing invariants:
+//!
+//! 1. **Virtual-time order** — the engine never processes an event at an
+//!    earlier virtual time than one it already processed, for any
+//!    workload shape, seed, policy, and worker count.
+//! 2. **Determinism** — the same seed replays byte-identically whether
+//!    the policy comparison fans out over 1, 2, 4, or 8 host workers
+//!    (simulated worker count is part of the scenario; *host* fan-out
+//!    must never be observable).
+//! 3. **Conservation** — `submitted == completed + rejected` for every
+//!    policy, including under a finite queue capacity that forces real
+//!    rejections.
+
+use lake_core::par::Parallelism;
+use lake_core::ManualClock;
+use lake_sched::{
+    compare, run, synthesize, CostModel, PolicyKind, SimConfig, TraceShape,
+};
+use proptest::prelude::*;
+
+const HOST_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn shape_for(pick: u8) -> TraceShape {
+    match pick % 3 {
+        0 => TraceShape::Uniform,
+        1 => TraceShape::Bursty,
+        _ => TraceShape::HeavyTail,
+    }
+}
+
+proptest! {
+    // Events never process out of virtual-time order, and the clock the
+    // engine drives ends exactly at the makespan.
+    #[test]
+    fn events_process_in_virtual_time_order(
+        seed in any::<u64>(),
+        jobs in 1usize..150,
+        tenants in 1usize..9,
+        sim_workers in 1usize..9,
+        pick in 0u8..3,
+    ) {
+        let trace = synthesize(shape_for(pick), seed, jobs, tenants, &CostModel::server_default());
+        for kind in PolicyKind::all() {
+            let clock = ManualClock::new();
+            let mut policy = kind.build();
+            let r = run(
+                &SimConfig { workers: sim_workers, queue_capacity: 0 },
+                policy.as_mut(),
+                trace.to_jobs(Some(4)),
+                &clock,
+            );
+            prop_assert!(
+                r.event_times.windows(2).all(|w| w[0] <= w[1]),
+                "{:?} processed events out of order: {:?}", kind, r.event_times
+            );
+            prop_assert_eq!(r.event_times.last().copied().unwrap_or(0), r.makespan_us);
+            prop_assert_eq!(r.completed, jobs as u64);
+        }
+    }
+
+    // The comparison table is a pure function of the traces: any host
+    // worker count produces the same bytes, rendered and serialized.
+    #[test]
+    fn same_seed_replay_is_byte_identical_across_host_workers(
+        seed in any::<u64>(),
+        jobs in 1usize..120,
+        tenants in 1usize..7,
+        pick in 0u8..3,
+    ) {
+        let shape = shape_for(pick);
+        let trace = synthesize(shape, seed, jobs, tenants, &CostModel::server_default());
+        let traces = vec![(shape.name().to_string(), trace.to_jobs(Some(4)))];
+        let cfg = SimConfig { workers: 4, queue_capacity: 0 };
+        let baseline = compare(&traces, &PolicyKind::all(), &cfg, Parallelism::fixed(1));
+        let baseline_json = baseline.to_json().to_string();
+        let baseline_text = baseline.render();
+        for w in HOST_WORKER_COUNTS {
+            let other = compare(&traces, &PolicyKind::all(), &cfg, Parallelism::fixed(w));
+            prop_assert_eq!(&other.to_json().to_string(), &baseline_json);
+            prop_assert_eq!(&other.render(), &baseline_text);
+        }
+    }
+
+    // submitted == completed + rejected for every policy, with a queue
+    // capacity small enough to reject under bursts; nothing vanishes and
+    // nothing is double-counted.
+    #[test]
+    fn jobs_are_conserved_under_capacity_pressure(
+        seed in any::<u64>(),
+        jobs in 1usize..150,
+        tenants in 1usize..9,
+        sim_workers in 1usize..5,
+        capacity in 1usize..8,
+        pick in 0u8..3,
+    ) {
+        let trace = synthesize(shape_for(pick), seed, jobs, tenants, &CostModel::server_default());
+        for kind in PolicyKind::all() {
+            let mut policy = kind.build();
+            let r = run(
+                &SimConfig { workers: sim_workers, queue_capacity: capacity },
+                policy.as_mut(),
+                trace.to_jobs(None),
+                &ManualClock::new(),
+            );
+            prop_assert_eq!(r.submitted, jobs as u64);
+            prop_assert!(r.is_conserved(), "{:?}: {} != {} + {}",
+                kind, r.submitted, r.completed, r.rejected);
+            // The queue never held more than `capacity`, so every
+            // sojourn is bounded by (capacity + 1) service maxima.
+            prop_assert_eq!(r.sojourns_us.len(), r.completed as usize);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! lake_server serve [--addr A] [--workers N] [--capacity N] [--chaos]
 //! lake_server request <ADDR> <VERB> [--tenant T] [--name N] [--kind K] [--body JSON]
-//! lake_server swarm <ADDR> [--clients N] [--requests N] [--seed S]
+//! lake_server swarm <ADDR> [--clients N] [--requests N] [--seed S] [--trace PATH]
 //! ```
 //!
 //! `serve` installs a SIGTERM handler that begins a graceful drain; the
@@ -140,6 +140,20 @@ fn cmd_swarm(args: &[String]) -> Result<i32> {
     };
     let report = run_swarm(addr, &cfg);
     println!("{}", report.to_json(&cfg));
+    if let Some(path) = flag_value(args, "--trace") {
+        // The trace is a pure function of the config; serialize it twice
+        // and byte-compare before writing, the same discipline the bench
+        // JSON artifacts follow.
+        let trace = lake_server::capture_trace(&cfg);
+        let bytes = format!("{}\n", trace.to_json());
+        let again = format!("{}\n", lake_server::capture_trace(&cfg).to_json());
+        if bytes != again {
+            return Err(LakeError::invalid("trace capture is not deterministic"));
+        }
+        std::fs::write(&path, &bytes)
+            .map_err(|e| LakeError::Io(format!("writing trace {path}: {e}")))?;
+        eprintln!("trace: {} records -> {path}", trace.len());
+    }
     Ok(if report.transport_errors == 0 { 0 } else { 2 })
 }
 

@@ -39,5 +39,5 @@ pub mod tenant;
 pub use admission::{AdmissionController, AdmissionCounters, Offer};
 pub use protocol::{ErrorCode, Request, Response, Verb};
 pub use server::{DrainReport, LakeServer, ServerConfig, ServerHandle};
-pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
+pub use swarm::{capture_trace, run_swarm, run_swarm_traced, SwarmConfig, SwarmReport};
 pub use tenant::{TenantStats, Tenants};

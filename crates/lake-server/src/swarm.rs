@@ -17,6 +17,7 @@
 
 use crate::protocol::{self, Request, Response, Verb, DEFAULT_MAX_FRAME_BYTES};
 use lake_core::{Json, LakeError};
+use lake_sched::{TraceRecord, WorkloadTrace};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
@@ -153,19 +154,30 @@ struct ClientOutcome {
     costs: Vec<u64>,
 }
 
-fn run_client(addr: &str, cfg: &SwarmConfig, index: usize) -> ClientOutcome {
+/// The full request sequence client `index` offers — a pure function of
+/// the config (responses never feed back into the stream), which is what
+/// makes both the swarm's offered multiset and its captured trace
+/// deterministic across thread interleavings.
+fn client_requests(cfg: &SwarmConfig, index: usize) -> Vec<Request> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ fnv1a(index as u64));
     let tenant = format!("tenant{}", index % cfg.tenants.max(1));
     let greedy = cfg.greedy_tenant_zero && index % cfg.tenants.max(1) == 0;
+    let mut put_keys: Vec<String> = Vec::new();
+    (0..cfg.requests_per_client)
+        .map(|seq| {
+            if greedy {
+                Request::new(&tenant, Verb::Health)
+            } else {
+                build_request(&mut rng, cfg, &tenant, index, seq, &mut put_keys)
+            }
+        })
+        .collect()
+}
+
+fn run_client(addr: &str, cfg: &SwarmConfig, index: usize) -> ClientOutcome {
     let mut by_code: BTreeMap<String, u64> = BTreeMap::new();
     let mut costs: Vec<u64> = Vec::with_capacity(cfg.requests_per_client);
-    let mut put_keys: Vec<String> = Vec::new();
-    for seq in 0..cfg.requests_per_client {
-        let req = if greedy {
-            Request::new(&tenant, Verb::Health)
-        } else {
-            build_request(&mut rng, cfg, &tenant, index, seq, &mut put_keys)
-        };
+    for req in client_requests(cfg, index) {
         let result = protocol::request(addr, &req, cfg.request_timeout_ms, cfg.max_frame_bytes);
         *by_code.entry(code_label(&result)).or_insert(0) += 1;
         if let Ok(resp) = &result {
@@ -175,6 +187,44 @@ fn run_client(addr: &str, cfg: &SwarmConfig, index: usize) -> ClientOutcome {
         }
     }
     ClientOutcome { by_code, costs }
+}
+
+/// Client `index`'s traced timeline: closed-loop virtual arrivals (each
+/// request arrives when the model says the previous one completed) and
+/// the server's own cost model as service demand. The byte count matches
+/// the server's `frame_bytes` exactly because both sides measure the
+/// canonical re-serialization of the request JSON.
+fn client_trace(cfg: &SwarmConfig, index: usize) -> Vec<TraceRecord> {
+    let mut arrival_us = 0u64;
+    client_requests(cfg, index)
+        .iter()
+        .map(|req| {
+            let bytes = req.to_json().to_string().len() as u64;
+            let cost_us = protocol::virtual_cost_us(req.verb, bytes);
+            let rec = TraceRecord {
+                arrival_us,
+                tenant: req.tenant.clone(),
+                verb: req.verb.name().to_string(),
+                cost_us,
+            };
+            arrival_us = arrival_us.saturating_add(cost_us);
+            rec
+        })
+        .collect()
+}
+
+/// Capture the canonical workload trace a swarm with this config offers:
+/// every client's closed-loop virtual timeline, merged and canonicalized.
+/// Pure — no server needed — so the `--trace` flag can serialize it twice
+/// and byte-compare before writing, and `lake-sched` replays of the same
+/// config are guaranteed to simulate the exact workload the swarm ran.
+pub fn capture_trace(cfg: &SwarmConfig) -> WorkloadTrace {
+    let mut trace = WorkloadTrace::new("swarm", cfg.seed);
+    for index in 0..cfg.clients {
+        trace.records.extend(client_trace(cfg, index));
+    }
+    trace.canonicalize();
+    trace
 }
 
 fn build_request(
@@ -283,6 +333,15 @@ pub fn run_swarm(addr: &str, cfg: &SwarmConfig) -> SwarmReport {
     }
 }
 
+/// [`run_swarm`] plus the canonical trace of what it offered — the pair
+/// the `swarm --trace <path>` flag and `e17_sched` consume. The trace is
+/// computed from the config, not from responses, so chaos faults perturb
+/// the report but never the trace.
+pub fn run_swarm_traced(addr: &str, cfg: &SwarmConfig) -> (SwarmReport, WorkloadTrace) {
+    let report = run_swarm(addr, cfg);
+    (report, capture_trace(cfg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +372,39 @@ mod tests {
         assert_eq!(build(&cfg), build(&cfg));
         let other = SwarmConfig { seed: 7, ..cfg.clone() };
         assert_ne!(build(&cfg), build(&other), "different seed, different mix");
+    }
+
+    #[test]
+    fn captured_trace_is_deterministic_and_canonical() {
+        let cfg = SwarmConfig { clients: 6, requests_per_client: 10, ..SwarmConfig::default() };
+        let a = capture_trace(&cfg);
+        let b = capture_trace(&cfg);
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        assert_eq!(a.len(), 60);
+        assert_eq!(a.source, "swarm");
+        assert_eq!(a.seed, cfg.seed);
+        // Canonical order: non-decreasing arrivals.
+        assert!(a.records.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        let other = capture_trace(&SwarmConfig { seed: 7, ..cfg });
+        assert_ne!(a.to_json().to_string(), other.to_json().to_string());
+    }
+
+    #[test]
+    fn trace_costs_match_the_server_cost_model() {
+        let cfg = SwarmConfig { clients: 2, requests_per_client: 20, ..SwarmConfig::default() };
+        for index in 0..cfg.clients {
+            let reqs = client_requests(&cfg, index);
+            let trace = client_trace(&cfg, index);
+            assert_eq!(reqs.len(), trace.len());
+            let mut expected_arrival = 0u64;
+            for (req, rec) in reqs.iter().zip(trace.iter()) {
+                let bytes = req.to_json().to_string().len() as u64;
+                assert_eq!(rec.cost_us, protocol::virtual_cost_us(req.verb, bytes));
+                assert_eq!(rec.arrival_us, expected_arrival, "closed-loop cumsum");
+                assert_eq!(rec.verb, req.verb.name());
+                expected_arrival += rec.cost_us;
+            }
+        }
     }
 
     #[test]

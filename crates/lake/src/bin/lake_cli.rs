@@ -38,6 +38,9 @@ enum Command {
     Promote(u64),
     /// `obs [json]` — dump the lake's metrics registry.
     Obs { json: bool },
+    /// `sched [json]` — simulate the scheduling policies on the three
+    /// synthetic workload shapes and print the comparison table.
+    Sched { json: bool },
     /// `help`
     Help,
     /// `quit` / `exit`
@@ -78,6 +81,11 @@ fn parse_command(line: &str) -> Result<Command, String> {
             "json" => Ok(Command::Obs { json: true }),
             _ => Err("usage: obs [json]".to_string()),
         },
+        "sched" => match rest {
+            "" | "table" => Ok(Command::Sched { json: false }),
+            "json" => Ok(Command::Sched { json: true }),
+            _ => Err("usage: sched [json]".to_string()),
+        },
         "help" | "?" => Ok(Command::Help),
         "quit" | "exit" => Ok(Command::Quit),
         "" => Err(String::new()),
@@ -95,6 +103,7 @@ commands:
   query <sql>          federated query, e.g. select a, b from t where a > 3
   promote <id>         promote a dataset to its next zone (quality-gated)
   obs [json]           dump session metrics (Prometheus text, or JSON)
+  sched [json]         simulate scheduling policies on synthetic workloads
   help                 this text
   quit                 leave";
 
@@ -207,6 +216,31 @@ fn run_command(dl: &mut DataLake, cmd: Command) -> Result<String, String> {
                 Ok(lake_obs::export::prometheus_text(&snap).trim_end().to_string())
             }
         }
+        Command::Sched { json } => {
+            use lake_sched::{compare, CostModel, PolicyKind, SimConfig, TraceShape};
+            let model = CostModel::server_default();
+            let traces: Vec<(String, Vec<lake_sched::Job>)> =
+                [TraceShape::Uniform, TraceShape::Bursty, TraceShape::HeavyTail]
+                    .iter()
+                    .map(|s| {
+                        let t = lake_sched::synthesize(*s, 42, 200, 8, &model);
+                        (s.name().to_string(), t.to_jobs(Some(4)))
+                    })
+                    .collect();
+            let table = compare(
+                &traces,
+                &PolicyKind::all(),
+                &SimConfig { workers: 4, queue_capacity: 0 },
+                lake_core::Parallelism::auto(),
+            );
+            // Fold the run into the session registry so `obs` sees it.
+            table.record_to(&dl.metrics);
+            if json {
+                Ok(table.to_json().to_string())
+            } else {
+                Ok(table.render().trim_end().to_string())
+            }
+        }
         Command::Help => Ok(HELP.to_string()),
         Command::Quit => Err("__quit".into()),
     }
@@ -280,6 +314,10 @@ mod tests {
         assert_eq!(parse_command("obs report"), Ok(Command::Obs { json: false }));
         assert_eq!(parse_command("obs json"), Ok(Command::Obs { json: true }));
         assert!(parse_command("obs xml").is_err());
+        assert_eq!(parse_command("sched"), Ok(Command::Sched { json: false }));
+        assert_eq!(parse_command("sched table"), Ok(Command::Sched { json: false }));
+        assert_eq!(parse_command("sched json"), Ok(Command::Sched { json: true }));
+        assert!(parse_command("sched xml").is_err());
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
         assert!(parse_command("meta x").is_err());
         assert!(parse_command("bogus").is_err());
@@ -317,6 +355,15 @@ mod tests {
         assert!(obs.contains("lake_query_execute_total"));
         let obs_json = run_command(&mut dl, Command::Obs { json: true }).unwrap();
         assert!(obs_json.contains("\"lake_lake_ingest_files_total\""));
+        let sched = run_command(&mut dl, Command::Sched { json: false }).unwrap();
+        assert!(sched.contains("fifo") && sched.contains("deadline"), "{sched}");
+        assert!(sched.contains("heavy_tail"), "{sched}");
+        let again = run_command(&mut dl, Command::Sched { json: false }).unwrap();
+        assert_eq!(sched, again, "sched table is deterministic");
+        let sched_json = run_command(&mut dl, Command::Sched { json: true }).unwrap();
+        assert!(sched_json.contains("\"policy\":\"sjf\""), "{sched_json}");
+        let obs_after = run_command(&mut dl, Command::Obs { json: false }).unwrap();
+        assert!(obs_after.contains("lake_sched_jobs_total"), "sched run reaches obs");
         assert!(run_command(&mut dl, Command::Meta(9)).is_err());
         assert_eq!(run_command(&mut dl, Command::Quit), Err("__quit".into()));
     }

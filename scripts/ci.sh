@@ -3,10 +3,13 @@
 # build, test, the repo-native static-analysis gate (including the
 # float-ordering rule), the fault-injection chaos gate, the
 # observability smoke gate, the server smoke gate (boot, every verb,
-# metrics scrape, SIGTERM drain), then the parallel-determinism gate
-# (e15 asserts parallel results are bit-identical to sequential) and
-# the server chaos bench (e16 asserts swarm reports replay
-# byte-identically and records BENCH_server.json).
+# metrics scrape, SIGTERM drain), the scheduler smoke gate (trace
+# capture and policy-table determinism across host worker counts),
+# then the parallel-determinism gate (e15 asserts parallel results are
+# bit-identical to sequential), the server chaos bench (e16 asserts
+# swarm reports replay byte-identically and records BENCH_server.json),
+# and the scheduling bench (e17 replays a captured swarm trace under
+# every policy and records BENCH_sched.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,5 +24,7 @@ cargo run -q -p lake-lint -- check --json > target/lake-lint-report.json
 ./scripts/chaos.sh
 ./scripts/obs.sh
 ./scripts/server.sh
+./scripts/sched.sh
 cargo run --release -p lake-bench --bin e15_parallel
 cargo run --release -p lake-bench --bin e16_server
+cargo run --release -p lake-bench --bin e17_sched

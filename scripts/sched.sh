@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Scheduler smoke gate: the e17 bench must produce a byte-identical
+# policy table and BENCH_sched.json across two full runs, the second
+# under a different host worker count (RUSTLAKE_WORKERS=2) — the
+# simulator's comparison table is a pure function of the traces, never
+# of the machine it fans out on. Also drives the `--trace` capture flag
+# end-to-end: two captures from the same live server must be
+# byte-identical and replayable.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build -q --release -p lake-server
+cargo build -q --release -p lake-bench --bin e17_sched
+
+BIN=target/release/lake_server
+TMP=$(mktemp -d)
+SERVER_PID=
+
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill -9 "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# --- trace capture over the wire -------------------------------------
+"$BIN" serve --capacity 256 >"$TMP/serve.log" 2>&1 &
+SERVER_PID=$!
+ADDR=
+for _ in $(seq 1 100); do
+    ADDR=$(grep -m1 '^listening on ' "$TMP/serve.log" 2>/dev/null | awk '{print $3}' || true)
+    [[ -n "$ADDR" ]] && break
+    sleep 0.05
+done
+[[ -n "$ADDR" ]] || { echo "sched.sh: server never reported its address" >&2; exit 1; }
+
+"$BIN" swarm "$ADDR" --clients 8 --requests 6 --seed 42 --trace "$TMP/a.trace.json" >/dev/null
+"$BIN" swarm "$ADDR" --clients 8 --requests 6 --seed 42 --trace "$TMP/b.trace.json" >/dev/null
+cmp -s "$TMP/a.trace.json" "$TMP/b.trace.json" \
+    || { echo "sched.sh: same-seed trace captures differ" >&2; exit 1; }
+grep -q '"source":"swarm"' "$TMP/a.trace.json" \
+    || { echo "sched.sh: trace missing swarm provenance" >&2; exit 1; }
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "sched.sh: server drain failed" >&2; exit 1; }
+SERVER_PID=
+echo "sched.sh: --trace capture byte-identical across same-seed swarms"
+
+# --- policy table determinism across host worker counts ---------------
+run_bench() {
+    cargo run -q --release -p lake-bench --bin e17_sched
+}
+
+run_bench > "$TMP/run1.out"
+cp BENCH_sched.json "$TMP/bench1.json"
+RUSTLAKE_WORKERS=2 run_bench > "$TMP/run2.out"
+cp BENCH_sched.json "$TMP/bench2.json"
+
+cmp -s "$TMP/bench1.json" "$TMP/bench2.json" \
+    || { echo "sched.sh: BENCH_sched.json differs across host worker counts" >&2; exit 1; }
+cmp -s "$TMP/run1.out" "$TMP/run2.out" \
+    || { echo "sched.sh: policy table output differs across host worker counts" >&2; exit 1; }
+grep -q '"table"' BENCH_sched.json \
+    || { echo "sched.sh: BENCH_sched.json missing the policy table" >&2; exit 1; }
+echo "sched.sh: policy table and BENCH_sched.json byte-identical across runs and RUSTLAKE_WORKERS"

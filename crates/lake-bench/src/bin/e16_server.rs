@@ -119,8 +119,12 @@ fn main() {
     println!("  replay: byte-identical across two same-seed runs");
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
-    let mut payload = json_a;
-    payload.push('\n');
-    std::fs::write(out, payload).expect("write BENCH_server.json");
-    println!("  wrote {out}");
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let date = lake_bench::trajectory::utc_date(secs);
+    let entries = lake_bench::trajectory::record(out, &date, &first.to_json(&cfg))
+        .expect("append BENCH_server.json trajectory");
+    println!("  wrote {out} ({entries} dated entries)");
 }

@@ -183,8 +183,12 @@ fn main() {
         ("tolerance_percent", lake_core::Json::Num(TOLERANCE_PERCENT as f64)),
     ]);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
-    let mut text = payload.to_string();
-    text.push('\n');
-    std::fs::write(out, text).expect("write BENCH_sched.json");
-    println!("  wrote {out}");
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let date = lake_bench::trajectory::utc_date(secs);
+    let entries = lake_bench::trajectory::record(out, &date, &payload)
+        .expect("append BENCH_sched.json trajectory");
+    println!("  wrote {out} ({entries} dated entries)");
 }

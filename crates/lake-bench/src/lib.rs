@@ -17,6 +17,8 @@
 //! Criterion benches cover the performance-sensitive claims (E1, E2, E5,
 //! E9, E10).
 
+pub mod trajectory;
+
 use lake_core::synth::{generate_lake, GroundTruth, LakeGenConfig};
 use lake_core::Table;
 use lake_discovery::corpus::TableCorpus;

@@ -1,0 +1,179 @@
+//! Deterministic in-process crash injection for durability chaos.
+//!
+//! The PR-2 [`FaultStore`](../../lake-store) kills a *store decorator*
+//! deterministically; this module kills the *process* the same way, so a
+//! supervisor harness can `fork`/`exec` a server, abort it at a named
+//! point in the write path, restart it, and assert the recovery contract.
+//! Like the injectable [`Clock`](crate::retry::Clock), the switch is an
+//! explicit seam: production constructs [`CrashSwitch::disabled`] (every
+//! check is a single relaxed-free atomic load of a `None`), tests arm a
+//! point either in code ([`CrashSwitch::armed`]) or through the
+//! environment ([`CrashSwitch::from_env`]):
+//!
+//! ```text
+//! RUSTLAKE_CRASH_POINT=post_journal_pre_apply RUSTLAKE_CRASH_AT=3
+//! ```
+//!
+//! aborts the process the third time the write path reaches the
+//! journaled-but-not-applied point. Determinism comes from *counting
+//! occurrences*, never from time: the same request sequence hits the same
+//! crash site on every run, which is what lets same-seed recovery reports
+//! replay byte-for-byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The named stations of a journaled write, in write-path order. Each is
+/// a distinct failure mode the recovery contract must survive:
+///
+/// * [`CrashPoint::PreJournal`] — nothing durable yet: the write must be
+///   *absent* after restart.
+/// * [`CrashPoint::MidJournalTorn`] — a partial frame reached disk: the
+///   torn tail must be truncated and quarantined, the write absent.
+/// * [`CrashPoint::PostJournalPreApply`] — durable but not applied: replay
+///   must apply it (the client never got an ack, so either outcome is a
+///   valid linearization — but it must be *complete*, never partial).
+/// * [`CrashPoint::PostApplyPreAck`] — applied but unacknowledged: same
+///   contract, and recovery must not double-apply it destructively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the journal append: the mutation left no trace.
+    PreJournal,
+    /// Mid-append: a prefix of the frame hits disk, then the process dies.
+    MidJournalTorn,
+    /// After the fsynced append, before the in-memory apply.
+    PostJournalPreApply,
+    /// After the apply, before the acknowledgement frame is written.
+    PostApplyPreAck,
+}
+
+impl CrashPoint {
+    /// Every point, in write-path order (harnesses iterate this).
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::PreJournal,
+        CrashPoint::MidJournalTorn,
+        CrashPoint::PostJournalPreApply,
+        CrashPoint::PostApplyPreAck,
+    ];
+
+    /// Stable name used in `RUSTLAKE_CRASH_POINT` and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::PreJournal => "pre_journal",
+            CrashPoint::MidJournalTorn => "mid_journal_torn",
+            CrashPoint::PostJournalPreApply => "post_journal_pre_apply",
+            CrashPoint::PostApplyPreAck => "post_apply_pre_ack",
+        }
+    }
+
+    /// Inverse of [`CrashPoint::name`].
+    pub fn parse(s: &str) -> Option<CrashPoint> {
+        CrashPoint::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// A counting trigger for one [`CrashPoint`]: the `n`-th time the armed
+/// point is reached, the process aborts (SIGABRT — deliberately not a
+/// clean exit, so no destructor gets a chance to "finish" the write).
+#[derive(Debug)]
+pub struct CrashSwitch {
+    point: Option<CrashPoint>,
+    at: u64,
+    hits: AtomicU64,
+}
+
+impl CrashSwitch {
+    /// A switch that never fires (production default).
+    pub fn disabled() -> CrashSwitch {
+        CrashSwitch { point: None, at: 0, hits: AtomicU64::new(0) }
+    }
+
+    /// Arm `point` to fire on its `at`-th occurrence (1-based; 0 is
+    /// normalized to 1).
+    pub fn armed(point: CrashPoint, at: u64) -> CrashSwitch {
+        CrashSwitch { point: Some(point), at: at.max(1), hits: AtomicU64::new(0) }
+    }
+
+    /// Read `RUSTLAKE_CRASH_POINT` / `RUSTLAKE_CRASH_AT` (default 1).
+    /// Unset or unparseable values yield a disabled switch — a supervisor
+    /// restart with the variables cleared must never re-crash.
+    pub fn from_env() -> CrashSwitch {
+        let point = std::env::var("RUSTLAKE_CRASH_POINT")
+            .ok()
+            .and_then(|v| CrashPoint::parse(&v));
+        match point {
+            Some(p) => {
+                let at = std::env::var("RUSTLAKE_CRASH_AT")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1);
+                CrashSwitch::armed(p, at)
+            }
+            None => CrashSwitch::disabled(),
+        }
+    }
+
+    /// The armed point, if any.
+    pub fn armed_point(&self) -> Option<CrashPoint> {
+        self.point
+    }
+
+    /// Record that execution reached `point`; `true` exactly once, on the
+    /// occurrence the switch is armed for. Callers that need to do work
+    /// *as part of* dying (tearing a frame) use this and abort themselves.
+    pub fn triggered(&self, point: CrashPoint) -> bool {
+        if self.point != Some(point) {
+            return false;
+        }
+        self.hits.fetch_add(1, Ordering::SeqCst) + 1 == self.at
+    }
+
+    /// Abort the process if `point` is armed and this is its `at`-th
+    /// occurrence. The common call: one line at each write-path station.
+    pub fn fire(&self, point: CrashPoint) {
+        if self.triggered(point) {
+            std::process::abort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in CrashPoint::ALL {
+            assert_eq!(CrashPoint::parse(p.name()), Some(p));
+        }
+        assert_eq!(CrashPoint::parse("nope"), None);
+    }
+
+    #[test]
+    fn disabled_switch_never_triggers() {
+        let s = CrashSwitch::disabled();
+        for p in CrashPoint::ALL {
+            for _ in 0..10 {
+                assert!(!s.triggered(p));
+            }
+        }
+        assert_eq!(s.armed_point(), None);
+    }
+
+    #[test]
+    fn armed_switch_counts_only_its_point() {
+        let s = CrashSwitch::armed(CrashPoint::PostApplyPreAck, 3);
+        // Other points never advance the counter.
+        assert!(!s.triggered(CrashPoint::PreJournal));
+        assert!(!s.triggered(CrashPoint::PostJournalPreApply));
+        assert!(!s.triggered(CrashPoint::PostApplyPreAck)); // 1st
+        assert!(!s.triggered(CrashPoint::PostApplyPreAck)); // 2nd
+        assert!(s.triggered(CrashPoint::PostApplyPreAck)); // 3rd: fire
+        assert!(!s.triggered(CrashPoint::PostApplyPreAck)); // past it
+    }
+
+    #[test]
+    fn zero_at_normalizes_to_first_occurrence() {
+        let s = CrashSwitch::armed(CrashPoint::MidJournalTorn, 0);
+        assert!(s.triggered(CrashPoint::MidJournalTorn));
+    }
+}

@@ -10,6 +10,7 @@
 //! Everything in the platform is built on top of this crate; it has no
 //! dependency on any storage or algorithm crate.
 
+pub mod crash;
 pub mod dataset;
 pub mod error;
 pub mod graph;
@@ -24,6 +25,7 @@ pub mod synth;
 pub mod table;
 pub mod value;
 
+pub use crash::{CrashPoint, CrashSwitch};
 pub use dataset::{Dataset, DatasetKind, DatasetMeta};
 pub use error::{LakeError, Result};
 pub use graph::{EdgeId, NodeId, PropertyGraph};

@@ -41,6 +41,16 @@ pub mod rank {
     pub const ORGANIZE_KAYAK: u32 = 10;
     /// Federated-query fault injector state (`lake-query::fault`).
     pub const QUERY_FAULT: u32 = 20;
+    /// Write-ahead-journal file handle (`lake-server::wal`); a group-commit
+    /// leader drains the append queue while holding it, so it ranks outer
+    /// to [`SERVER_WAL_QUEUE`].
+    pub const SERVER_WAL_FILE: u32 = 21;
+    /// Write-ahead-journal append queue (`lake-server::wal`).
+    pub const SERVER_WAL_QUEUE: u32 = 22;
+    /// Contiguous-applied watermark (`lake-server::wal`): the highest
+    /// journal sequence below which every entry has been applied, which
+    /// bounds what rotation may compact away.
+    pub const SERVER_WAL_MARK: u32 = 23;
     /// Server tenant-namespace registry (`lake-server::tenant`); outer to
     /// the breaker/quota cells so a namespace holder may consult them.
     pub const SERVER_TENANTS: u32 = 25;

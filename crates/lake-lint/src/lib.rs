@@ -1,6 +1,6 @@
 //! `lake-lint`: repo-native static analysis for the rustlake workspace.
 //!
-//! Three checks keep the survey's architecture and the lakehouse's
+//! Nine checks keep the survey's architecture and the lakehouse's
 //! reliability story honest as the codebase scales:
 //!
 //! 1. **Panic-freedom** ([`scanner`]): library code must not call
@@ -36,6 +36,12 @@
 //! 8. **Atomic ordering** ([`concurrency`]): `Ordering::Relaxed` is
 //!    allowed only on declared counter atomics (lake-obs metric cells);
 //!    elsewhere it needs a `// lint: ordering` justification.
+//! 9. **Durability discipline** ([`durability`]): in journal/WAL library
+//!    sources (paths containing `wal` or `durable`), every `.write_all(`
+//!    must be followed in the same fn by `.sync_all(`/`.sync_data(` —
+//!    the server's ack contract is "on disk", not "in the page cache",
+//!    and only a power cut ever exposes the difference. Deliberately
+//!    volatile writes justify with `// lint: durability <why>`.
 //!
 //! Existing violations are grandfathered in `lake-lint.baseline.toml`
 //! ([`baseline`]); the baseline can only shrink. Run as:
@@ -49,6 +55,7 @@
 pub mod baseline;
 pub mod clock;
 pub mod concurrency;
+pub mod durability;
 pub mod errors;
 pub mod float;
 pub mod layering;
@@ -78,6 +85,8 @@ pub enum Rule {
     GuardBlocking,
     /// `Ordering::Relaxed` outside declared counter atomics, unjustified.
     AtomicOrdering,
+    /// `write_all` on a journal path with no following fsync in the fn.
+    Durability,
 }
 
 impl Rule {
@@ -93,6 +102,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::GuardBlocking => "guard-blocking",
             Rule::AtomicOrdering => "atomic-ordering",
+            Rule::Durability => "durability",
         }
     }
 
@@ -108,6 +118,7 @@ impl Rule {
             "lock-order" => Some(Rule::LockOrder),
             "guard-blocking" => Some(Rule::GuardBlocking),
             "atomic-ordering" => Some(Rule::AtomicOrdering),
+            "durability" => Some(Rule::Durability),
             _ => None,
         }
     }
@@ -206,6 +217,7 @@ fn walk_sources(
             findings.extend(errors::scan_atomicity(&rel, &src));
             findings.extend(clock::scan_source(&rel, &src));
             findings.extend(float::scan_source(&rel, &src));
+            findings.extend(durability::scan_source(&rel, &src));
             conc.add_source(&rel, &src);
         }
     }
@@ -326,6 +338,7 @@ mod tests {
             Rule::LockOrder,
             Rule::GuardBlocking,
             Rule::AtomicOrdering,
+            Rule::Durability,
         ] {
             assert_eq!(Rule::from_key(rule.key()), Some(rule));
         }

@@ -1,0 +1,19 @@
+//! Fixture for the durability-discipline rule: one synced write (ok),
+//! one unsynced write (flagged), one justified volatile write (ok).
+
+use std::fs::File;
+use std::io::Write;
+
+pub fn synced_append(f: &mut File, buf: &[u8]) -> std::io::Result<()> {
+    f.write_all(buf)?;
+    f.sync_data()
+}
+
+pub fn unsynced_append(f: &mut File, buf: &[u8]) -> std::io::Result<()> {
+    f.write_all(buf)
+}
+
+pub fn scratch_write(f: &mut File) -> std::io::Result<()> {
+    // lint: durability scratch spill, rebuilt from the journal on boot
+    f.write_all(b"scratch")
+}

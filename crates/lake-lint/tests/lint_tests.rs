@@ -80,6 +80,18 @@ fn float_ordering_fixture_has_expected_findings() {
     assert!(findings[1].message.contains("unwrap_or"), "{}", findings[1].message);
 }
 
+#[test]
+fn wal_no_sync_fixture_has_expected_findings() {
+    let src = fixture("wal_no_sync.rs");
+    // The fixture name contains `wal`, so it is in scope…
+    let findings = lake_lint::durability::scan_source("fixtures/wal_no_sync.rs", &src);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::Durability);
+    assert!(findings[0].message.contains("sync_all"), "{}", findings[0].message);
+    // …while the same source under a non-journal path is not.
+    assert!(lake_lint::durability::scan_source("fixtures/other.rs", &src).is_empty());
+}
+
 /// Run the workspace-wide concurrency analysis over a single fixture.
 fn analyze_fixture(name: &str) -> Vec<lake_lint::Finding> {
     let src = fixture(name);
@@ -222,6 +234,17 @@ fn workspace_has_no_concurrency_violations() {
         })
         .collect();
     assert!(conc.is_empty(), "{conc:#?}");
+}
+
+/// The WAL shipped with its fsync discipline intact: the durability
+/// rule launches at a zero baseline and must stay there — every journal
+/// write in the workspace is followed by a sync in the same fn.
+#[test]
+fn workspace_has_no_durability_violations() {
+    let root = workspace_root();
+    let findings = lake_lint::scan_workspace(&root).expect("scan");
+    let dur: Vec<_> = findings.iter().filter(|f| f.rule == Rule::Durability).collect();
+    assert!(dur.is_empty(), "{dur:#?}");
 }
 
 /// Every first-party manifest respects the tier DAG right now.

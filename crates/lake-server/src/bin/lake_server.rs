@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! lake_server serve [--addr A] [--workers N] [--capacity N] [--chaos]
+//!                   [--wal-dir DIR] [--wal-rotate N]
 //! lake_server request <ADDR> <VERB> [--tenant T] [--name N] [--kind K] [--body JSON]
 //! lake_server swarm <ADDR> [--clients N] [--requests N] [--seed S] [--trace PATH]
 //! ```
@@ -10,12 +11,19 @@
 //! process exits 0 after in-flight work finishes (the `scripts/server.sh`
 //! smoke gate asserts exactly this). The `drain` protocol verb triggers
 //! the same path for environments where signals are awkward.
+//!
+//! `--wal-dir` turns on the write-ahead journal: mutations are fsynced
+//! before the ack and replayed from `DIR/_wal/` on the next boot, with a
+//! `recovery {json}` line printed before `listening on` so restart
+//! harnesses can assert the replay counts. `RUSTLAKE_CRASH_POINT` /
+//! `RUSTLAKE_CRASH_AT` arm a deterministic in-process crash point on the
+//! write path (chaos harnesses only).
 
-use lake_core::{LakeError, Parallelism, Result, SystemClock};
+use lake_core::{CrashSwitch, LakeError, Parallelism, Result, SystemClock};
 use lake_obs::MetricsRegistry;
 use lake_query::QuotaConfig;
 use lake_server::protocol::{self, Request, Verb, DEFAULT_MAX_FRAME_BYTES};
-use lake_server::{run_swarm, LakeServer, ServerConfig, SwarmConfig};
+use lake_server::{run_swarm, LakeServer, ServerConfig, SwarmConfig, WalConfig};
 use lake_store::polystore::Polystore;
 use std::sync::Arc;
 
@@ -75,6 +83,12 @@ fn cmd_serve(args: &[String]) -> Result<i32> {
     if let Some(q) = flag_value(args, "--max-requests").and_then(|v| v.parse::<u64>().ok()) {
         cfg.default_quota = QuotaConfig::unlimited().with_max_requests(q);
     }
+    if let Some(dir) = flag_value(args, "--wal-dir") {
+        let mut wal = WalConfig::new(dir);
+        wal.rotate_every = parse_num(args, "--wal-rotate", wal.rotate_every);
+        cfg.wal = Some(wal);
+    }
+    cfg.crash = Arc::new(CrashSwitch::from_env());
     let registry = Arc::new(MetricsRegistry::new());
     let handle = LakeServer::start(
         cfg,
@@ -83,6 +97,11 @@ fn cmd_serve(args: &[String]) -> Result<i32> {
         Arc::new(SystemClock),
     )?;
     sig::install();
+    // Restart harnesses parse this line to assert replay counts; it
+    // precedes `listening on` so readers see it before connecting.
+    if let Some(report) = handle.recovery_report() {
+        println!("recovery {}", report.to_json());
+    }
     // The smoke gate greps for this exact prefix to learn the port.
     println!("listening on {}", handle.addr());
     while !sig::termed() && !handle.is_draining() {

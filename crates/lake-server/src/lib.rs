@@ -24,6 +24,10 @@
 //!   hundreds of concurrent connections with a deterministic request mix,
 //!   reporting latency percentiles and per-code outcome counts that
 //!   replay byte-for-byte for a fixed seed.
+//! * [`wal`] — crash-restart durability: a checksummed write-ahead
+//!   journal (group-committed, fsynced before the ack), startup recovery
+//!   with torn-tail quarantine and snapshot-bounded replay, and the
+//!   seeded crash points the restart-chaos harness kills the server at.
 //!
 //! Everything time-dependent runs on the injectable
 //! [`lake_core::retry::Clock`], and every counter in the ladder is
@@ -35,9 +39,11 @@ pub mod protocol;
 pub mod server;
 pub mod swarm;
 pub mod tenant;
+pub mod wal;
 
 pub use admission::{AdmissionController, AdmissionCounters, Offer};
 pub use protocol::{ErrorCode, Request, Response, Verb};
 pub use server::{DrainReport, LakeServer, ServerConfig, ServerHandle};
 pub use swarm::{capture_trace, run_swarm, run_swarm_traced, SwarmConfig, SwarmReport};
 pub use tenant::{TenantStats, Tenants};
+pub use wal::{RecoveryReport, Wal, WalConfig, WalOp, WalRecord};

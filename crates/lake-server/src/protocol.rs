@@ -13,7 +13,7 @@
 //! happened" from a dropped connection, and chaos harnesses can assert
 //! exact per-code counts.
 
-use lake_core::{Json, LakeError, Result};
+use lake_core::{Dataset, Json, LakeError, Result};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -45,6 +45,10 @@ pub enum Verb {
     /// Chaos-only: the handler fails with a transient error (feeds the
     /// tenant's circuit breaker).
     Flaky,
+    /// Chaos-only: abort the whole process immediately (`kill -9` from the
+    /// inside) — the restart-chaos harness's trigger for crash-recovery
+    /// scenarios. No response frame is ever written.
+    Crash,
 }
 
 impl Verb {
@@ -61,6 +65,7 @@ impl Verb {
             "drain" => Ok(Verb::Drain),
             "boom" => Ok(Verb::Boom),
             "flaky" => Ok(Verb::Flaky),
+            "crash" => Ok(Verb::Crash),
             other => Err(LakeError::invalid(format!("unknown verb: {other}"))),
         }
     }
@@ -78,13 +83,14 @@ impl Verb {
             Verb::Drain => "drain",
             Verb::Boom => "boom",
             Verb::Flaky => "flaky",
+            Verb::Crash => "crash",
         }
     }
 
     /// `true` for the fault-injection verbs that only a chaos-configured
     /// server accepts.
     pub fn is_chaos(self) -> bool {
-        matches!(self, Verb::Boom | Verb::Flaky)
+        matches!(self, Verb::Boom | Verb::Flaky | Verb::Crash)
     }
 }
 
@@ -345,6 +351,9 @@ pub fn virtual_cost_us(verb: Verb, request_bytes: u64) -> u64 {
         Verb::Get => 400,
         Verb::Boom => 450,
         Verb::Flaky => 500,
+        // The process dies before answering; the cost only prices the
+        // request parse for swarm reports that count the attempt.
+        Verb::Crash => 550,
         Verb::Put => 600,
         Verb::Metrics => 900,
     };
@@ -440,6 +449,65 @@ pub fn request(addr: &str, req: &Request, timeout_ms: u64, max_frame: usize) -> 
     }
 }
 
+/// Decode a `put` body into a [`Dataset`] by declared kind. Shared by the
+/// live `put` handler and journal replay, so a record that was accepted
+/// live always decodes identically during recovery.
+pub fn dataset_from_body(kind: &str, body: &Json) -> Result<Dataset> {
+    match kind {
+        "text" => {
+            let s = body
+                .as_str()
+                .ok_or_else(|| LakeError::invalid("kind \"text\" needs a string body"))?;
+            Ok(Dataset::Text(s.to_string()))
+        }
+        "log" => {
+            let lines = body
+                .as_array()
+                .ok_or_else(|| LakeError::invalid("kind \"log\" needs an array body"))?
+                .iter()
+                .map(|j| {
+                    j.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| LakeError::invalid("log lines must be strings"))
+                })
+                .collect::<Result<Vec<String>>>()?;
+            Ok(Dataset::Log(lines))
+        }
+        "documents" => {
+            let docs = body
+                .as_array()
+                .ok_or_else(|| LakeError::invalid("kind \"documents\" needs an array body"))?;
+            Ok(Dataset::Documents(docs.to_vec()))
+        }
+        other => Err(LakeError::invalid(format!(
+            "unsupported kind {other:?} (use text, log, or documents)"
+        ))),
+    }
+}
+
+/// Encode a [`Dataset`] as a `get` response body (the inverse of
+/// [`dataset_from_body`] for the wire kinds).
+pub fn dataset_to_body(dataset: &Dataset) -> Json {
+    match dataset {
+        Dataset::Text(t) => Json::obj(vec![
+            ("kind", Json::str("text")),
+            ("body", Json::str(t.clone())),
+        ]),
+        Dataset::Log(lines) => Json::obj(vec![
+            ("kind", Json::str("log")),
+            ("body", Json::Array(lines.iter().map(|l| Json::str(l.clone())).collect())),
+        ]),
+        Dataset::Documents(docs) => Json::obj(vec![
+            ("kind", Json::str("documents")),
+            ("body", Json::Array(docs.clone())),
+        ]),
+        other => Json::obj(vec![
+            ("kind", Json::str(other.kind().name())),
+            ("records", Json::Num(other.record_count() as f64)),
+        ]),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,11 +525,13 @@ mod tests {
             Verb::Drain,
             Verb::Boom,
             Verb::Flaky,
+            Verb::Crash,
         ] {
             assert_eq!(Verb::parse(v.name()).unwrap(), v);
         }
         assert!(Verb::parse("nope").is_err());
         assert!(Verb::Boom.is_chaos() && Verb::Flaky.is_chaos() && !Verb::Get.is_chaos());
+        assert!(Verb::Crash.is_chaos());
     }
 
     #[test]

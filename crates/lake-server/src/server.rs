@@ -21,11 +21,13 @@
 
 use crate::admission::{AdmissionController, AdmissionCounters, Offer};
 use crate::protocol::{
-    self, ErrorCode, Request, Response, Verb, DEFAULT_MAX_FRAME_BYTES,
+    self, dataset_from_body, dataset_to_body, ErrorCode, Request, Response, Verb,
+    DEFAULT_MAX_FRAME_BYTES,
 };
 use crate::tenant::Tenants;
+use crate::wal::{self, RecoveryReport, Wal, WalConfig, WalOp, WalRecord};
 use lake_core::retry::Clock;
-use lake_core::{Dataset, Json, LakeError, Parallelism, Result};
+use lake_core::{CrashPoint, CrashSwitch, Json, LakeError, Parallelism, Result};
 use lake_obs::{MetricsRegistry, MICROS_TO_SECONDS};
 use lake_query::degrade::Admission;
 use lake_query::{BreakerConfig, QuotaConfig, QuotaDecision};
@@ -59,8 +61,15 @@ pub struct ServerConfig {
     pub drain_deadline_ms: u64,
     /// Frame-size ceiling.
     pub max_frame_bytes: usize,
-    /// Accept the `boom`/`flaky` fault-injection verbs (chaos tests only).
+    /// Accept the `boom`/`flaky`/`crash` fault-injection verbs (chaos
+    /// tests only).
     pub enable_chaos_verbs: bool,
+    /// Journal mutations to disk and replay them on restart. `None`
+    /// keeps the pre-durability in-memory behaviour.
+    pub wal: Option<WalConfig>,
+    /// In-process crash points on the write path (chaos harness; the
+    /// default switch is disabled and free).
+    pub crash: Arc<CrashSwitch>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +86,8 @@ impl Default for ServerConfig {
             drain_deadline_ms: 5_000,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             enable_chaos_verbs: false,
+            wal: None,
+            crash: Arc::new(CrashSwitch::disabled()),
         }
     }
 }
@@ -101,6 +112,8 @@ struct Shared {
     admission: AdmissionController,
     registry: Arc<MetricsRegistry>,
     clock: Arc<dyn Clock>,
+    wal: Option<Wal>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Shared {
@@ -139,6 +152,36 @@ impl LakeServer {
         for (tenant, quota) in &cfg.quota_overrides {
             tenants = tenants.with_override(tenant, *quota);
         }
+
+        // Durability: open the journal, restore the snapshot, replay the
+        // suffix — all before the first connection is accepted, so every
+        // request observes the fully recovered namespace.
+        let (wal, recovery) = match &cfg.wal {
+            Some(wal_cfg) => {
+                let (wal, recovered) =
+                    Wal::open(wal_cfg.clone(), Arc::clone(&cfg.crash), &registry)?;
+                let mut report = recovered.report;
+                if let Some(snapshot) = &recovered.snapshot {
+                    wal::restore_snapshot(&tenants, &store, snapshot)?;
+                }
+                let replay_counter = registry.counter("lake_server_recovery_replayed_total");
+                let failed_counter = registry.counter("lake_server_recovery_failed_total");
+                for rec in &recovered.records {
+                    if wal::apply_record(&tenants, &store, rec).is_ok() {
+                        report.replayed += 1;
+                        replay_counter.inc();
+                    } else {
+                        failed_counter.inc();
+                    }
+                }
+                registry
+                    .counter("lake_server_recovery_stale_skipped_total")
+                    .add(report.stale_skipped);
+                (Some(wal), Some(report))
+            }
+            None => (None, None),
+        };
+
         let shared = Arc::new(Shared {
             admission: AdmissionController::new(cfg.queue_capacity),
             tenants,
@@ -146,6 +189,8 @@ impl LakeServer {
             store,
             registry,
             clock,
+            wal,
+            recovery,
         });
 
         let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
@@ -190,6 +235,11 @@ impl ServerHandle {
     /// `true` once a drain has begun (locally or via the `drain` verb).
     pub fn is_draining(&self) -> bool {
         self.shared.admission.is_draining()
+    }
+
+    /// What startup recovery found and replayed (`None` without a WAL).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.shared.recovery.clone()
     }
 
     /// Final metrics snapshot helper for gates.
@@ -442,7 +492,12 @@ fn execute(shared: &Shared, req: &Request) -> Result<Json> {
             ("draining", Json::Bool(shared.admission.is_draining())),
         ])),
         Verb::Put => {
+            // Validate *before* journaling: a malformed body must never
+            // reach the journal (replay assumes every frame applies).
             let dataset = dataset_from_body(&req.kind, &req.body)?;
+            if shared.wal.is_some() {
+                return durable_mutation(shared, req, WalOp::Put);
+            }
             let kind = dataset.kind().name();
             let id = shared.tenants.assign(&req.tenant, &req.name);
             let scoped = Tenants::scoped(&req.tenant, &req.name);
@@ -462,10 +517,15 @@ fn execute(shared: &Shared, req: &Request) -> Result<Json> {
             Ok(dataset_to_body(&dataset))
         }
         Verb::Del => {
+            // Existence check before journaling: a del of a missing name
+            // answers NotFound without ever touching the journal.
             let id = shared
                 .tenants
                 .lookup(&req.tenant, &req.name)
                 .ok_or_else(|| LakeError::not_found(format!("{}/{}", req.tenant, req.name)))?;
+            if shared.wal.is_some() {
+                return durable_mutation(shared, req, WalOp::Del);
+            }
             shared.store.remove(id)?;
             shared.tenants.remove_name(&req.tenant, &req.name);
             Ok(Json::obj(vec![("deleted", Json::str(req.name.clone()))]))
@@ -501,61 +561,45 @@ fn execute(shared: &Shared, req: &Request) -> Result<Json> {
             // keeps the source free of the banned `panic!` macro.
             std::panic::panic_any("boom verb: injected handler panic");
         }
+        Verb::Crash => {
+            // `kill -9` from the inside: no response frame, no cleanup,
+            // no flush. The restart-chaos harness owns what comes next.
+            std::process::abort();
+        }
     }
 }
 
-fn dataset_from_body(kind: &str, body: &Json) -> Result<Dataset> {
-    match kind {
-        "text" => {
-            let s = body
-                .as_str()
-                .ok_or_else(|| LakeError::invalid("kind \"text\" needs a string body"))?;
-            Ok(Dataset::Text(s.to_string()))
-        }
-        "log" => {
-            let lines = body
-                .as_array()
-                .ok_or_else(|| LakeError::invalid("kind \"log\" needs an array body"))?
-                .iter()
-                .map(|j| {
-                    j.as_str()
-                        .map(str::to_string)
-                        .ok_or_else(|| LakeError::invalid("log lines must be strings"))
-                })
-                .collect::<Result<Vec<String>>>()?;
-            Ok(Dataset::Log(lines))
-        }
-        "documents" => {
-            let docs = body
-                .as_array()
-                .ok_or_else(|| LakeError::invalid("kind \"documents\" needs an array body"))?;
-            Ok(Dataset::Documents(docs.to_vec()))
-        }
-        other => Err(LakeError::invalid(format!(
-            "unsupported kind {other:?} (use text, log, or documents)"
-        ))),
-    }
-}
-
-fn dataset_to_body(dataset: &Dataset) -> Json {
-    match dataset {
-        Dataset::Text(t) => Json::obj(vec![
-            ("kind", Json::str("text")),
-            ("body", Json::str(t.clone())),
-        ]),
-        Dataset::Log(lines) => Json::obj(vec![
-            ("kind", Json::str("log")),
-            ("body", Json::Array(lines.iter().map(|l| Json::str(l.clone())).collect())),
-        ]),
-        Dataset::Documents(docs) => Json::obj(vec![
-            ("kind", Json::str("documents")),
-            ("body", Json::Array(docs.clone())),
-        ]),
-        other => Json::obj(vec![
-            ("kind", Json::str(other.kind().name())),
-            ("records", Json::Num(other.record_count() as f64)),
-        ]),
-    }
+/// The durable write path: journal (fsynced) → apply → advance the
+/// watermark → maybe rotate — with a crash point armed at every edge.
+/// The 200 is written by `handle_connection` strictly after this
+/// returns, so an acknowledged mutation is always journaled.
+fn durable_mutation(shared: &Shared, req: &Request, op: WalOp) -> Result<Json> {
+    let Some(wal) = &shared.wal else {
+        return Err(LakeError::invalid("durable_mutation without a wal"));
+    };
+    let (kind, body) = match op {
+        WalOp::Put => (req.kind.as_str(), req.body.clone()),
+        WalOp::Del => ("", Json::Null),
+    };
+    shared.cfg.crash.fire(CrashPoint::PreJournal);
+    let seq = wal.append(op, &req.tenant, &req.name, kind, &body)?;
+    shared.cfg.crash.fire(CrashPoint::PostJournalPreApply);
+    let rec = WalRecord {
+        seq,
+        op,
+        tenant: req.tenant.clone(),
+        name: req.name.clone(),
+        kind: kind.to_string(),
+        body,
+    };
+    let out = wal::apply_record(&shared.tenants, &shared.store, &rec);
+    // The seq is resolved either way: on apply failure the client gets
+    // an error (no ack), and replaying the frame after a crash at worst
+    // re-attempts an unacknowledged write — which the contract permits.
+    wal.mark_applied(seq);
+    wal.maybe_rotate(&shared.tenants, &shared.store);
+    shared.cfg.crash.fire(CrashPoint::PostApplyPreAck);
+    out
 }
 
 #[cfg(test)]

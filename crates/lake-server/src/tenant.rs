@@ -142,6 +142,17 @@ impl Tenants {
         self.names.lock().get_mut(tenant).and_then(|ns| ns.remove(name))
     }
 
+    /// Every tenant with at least one bound dataset, sorted — the
+    /// snapshot dump walks these to capture the whole namespace.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.names
+            .lock()
+            .iter()
+            .filter(|(_, ns)| !ns.is_empty())
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+
     /// The tenant's dataset names, sorted.
     pub fn list(&self, tenant: &str) -> Vec<String> {
         self.names

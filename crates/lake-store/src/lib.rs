@@ -18,6 +18,9 @@
 //! * [`polystore`] — the Constance-style router that places each ingested
 //!   dataset in the store matching its original format (§4.3) and provides
 //!   integrated retrieval.
+//! * [`durable`] — crash-safe file primitives (checksummed frames,
+//!   fsynced appends, atomic replace) backing the server's write-ahead
+//!   journal.
 //! * [`fault`] — a deterministic fault-injecting [`ObjectStore`]
 //!   decorator (transient errors, torn writes, scripted crash points)
 //!   backing the lakehouse chaos suite.
@@ -25,6 +28,7 @@
 //!   counts, bytes, and latency histograms into a `lake-obs` registry.
 
 pub mod document;
+pub mod durable;
 pub mod fault;
 pub mod graphstore;
 pub mod kv;
@@ -34,6 +38,7 @@ pub mod polystore;
 pub mod predicate;
 pub mod relational;
 
+pub use durable::{append_sync, atomic_write_sync, encode_frame, scan_frames, FrameScan};
 pub use fault::{FaultPlan, FaultStats, FaultStore, Op};
 pub use obs::ObsStore;
 pub use object::{LocalDirStore, MemoryStore, ObjectStore};

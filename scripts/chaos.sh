@@ -28,6 +28,15 @@ cargo test -q -p lake-query --test chaos
 # arithmetic, breaker isolation, and byte-identical replay.
 cargo test -q -p lake-server --test chaos
 cargo test -q -p lake-server --test quota_prop
+# Crash-restart durability: deterministic in-process crash points
+# (pre-journal, mid-journal torn write, post-journal pre-apply, pre-ack)
+# at seeds 7/42/1337, plus a 4-client kill -9 swarm. Every restart
+# asserts the parity contract — records replayed equals journal frames
+# on disk — through both the recovery report line and the
+# lake_server_recovery_replayed_total counter, and the WAL property
+# suite sweeps torn tails over every byte offset of the final frame.
+cargo test -q -p lake-server --test restart_chaos
+cargo test -q -p lake-server --test wal_prop
 cargo test -q -p lake-store fault::
 cargo test -q -p lake-core retry::
 cargo test -q -p lake-core --test retry_prop

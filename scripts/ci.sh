@@ -8,8 +8,12 @@
 # then the parallel-determinism gate (e15 asserts parallel results are
 # bit-identical to sequential), the server chaos bench (e16 asserts
 # swarm reports replay byte-identically and records BENCH_server.json),
-# and the scheduling bench (e17 replays a captured swarm trace under
-# every policy and records BENCH_sched.json).
+# the scheduling bench (e17 replays a captured swarm trace under
+# every policy and records BENCH_sched.json), and the durability bench
+# (e18 gates WAL group commit, recovery replay, and torn-tail
+# quarantine, recording BENCH_durability.json). The BENCH_*.json
+# artifacts are dated trajectories — each run appends an entry instead
+# of overwriting history.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,3 +32,4 @@ cargo run -q -p lake-lint -- check --json > target/lake-lint-report.json
 cargo run --release -p lake-bench --bin e15_parallel
 cargo run --release -p lake-bench --bin e16_server
 cargo run --release -p lake-bench --bin e17_sched
+cargo run --release -p lake-bench --bin e18_durability

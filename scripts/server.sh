@@ -2,7 +2,11 @@
 # Server smoke gate: boot the real `lake_server` binary, exercise one
 # request per protocol verb over the wire, scrape the Prometheus
 # endpoint, then SIGTERM it mid-life and assert a graceful drain —
-# in-flight work finished, metrics flushed, exit status 0.
+# in-flight work finished, metrics flushed, exit status 0. A second leg
+# boots with the write-ahead journal, kill -9s the process mid-swarm,
+# restarts on the same WAL dir, and asserts every acked write is
+# readable again (the durability contract end-to-end, real processes
+# and real fsyncs).
 #
 # This is deliberately an end-to-end process test (fork/exec, signals,
 # real sockets), complementing the in-process chaos suites in
@@ -15,6 +19,7 @@ cargo build -q --release -p lake-server
 
 BIN=target/release/lake_server
 LOG=$(mktemp)
+WAL_DIR=$(mktemp -d)
 SERVER_PID=
 
 cleanup() {
@@ -22,24 +27,28 @@ cleanup() {
         kill -9 "$SERVER_PID" 2>/dev/null || true
     fi
     rm -f "$LOG"
+    rm -rf "$WAL_DIR"
 }
 trap cleanup EXIT
+
+# Wait for "listening on HOST:PORT" in a server log; prints the addr.
+wait_addr() {
+    local log=$1 addr=
+    for _ in $(seq 1 100); do
+        addr=$(grep -m1 '^listening on ' "$log" 2>/dev/null | awk '{print $3}' || true)
+        [[ -n "$addr" ]] && { echo "$addr"; return 0; }
+        sleep 0.05
+    done
+    echo "server.sh: server never reported its address" >&2
+    cat "$log" >&2
+    return 1
+}
 
 "$BIN" serve --chaos --capacity 64 >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # The serve command prints "listening on HOST:PORT" once bound.
-ADDR=
-for _ in $(seq 1 100); do
-    ADDR=$(grep -m1 '^listening on ' "$LOG" 2>/dev/null | awk '{print $3}' || true)
-    [[ -n "$ADDR" ]] && break
-    sleep 0.05
-done
-if [[ -z "$ADDR" ]]; then
-    echo "server.sh: server never reported its address" >&2
-    cat "$LOG" >&2
-    exit 1
-fi
+ADDR=$(wait_addr "$LOG")
 echo "server.sh: serving at $ADDR"
 
 req() { "$BIN" request "$ADDR" "$@"; }
@@ -87,3 +96,47 @@ fi
 grep -q 'drained=true' "$LOG" || { echo "server.sh: no drain report" >&2; cat "$LOG" >&2; exit 1; }
 SERVER_PID=
 echo "server.sh: all verbs answered, metrics scraped, SIGTERM drained cleanly (exit 0)"
+
+# ---- kill -9 mid-swarm: write-ahead journal durability ----------------
+# Boot with the WAL, ack two known writes, put a swarm in flight, then
+# SIGKILL — no drain, no flush, the journal is all that survives.
+: >"$LOG"
+"$BIN" serve --chaos --capacity 64 --wal-dir "$WAL_DIR" >"$LOG" 2>&1 &
+SERVER_PID=$!
+ADDR=$(wait_addr "$LOG")
+echo "server.sh: WAL server at $ADDR (journal in $WAL_DIR)"
+req put --tenant acme --name k1 --kind text \
+    --body '"survives-kill-9"' | grep -q '"status":"ok"'
+req put --tenant acme --name k2 --kind log \
+    --body '["first line","second line"]' | grep -q '"status":"ok"'
+"$BIN" swarm "$ADDR" --clients 16 --requests 20 >/dev/null 2>&1 &
+SWARM_PID=$!
+sleep 0.2
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+wait "$SWARM_PID" 2>/dev/null || true
+SERVER_PID=
+
+# Restart on the same journal: the recovery line must report the
+# replay, and both acked writes must read back byte-for-byte.
+: >"$LOG"
+"$BIN" serve --capacity 64 --wal-dir "$WAL_DIR" >"$LOG" 2>&1 &
+SERVER_PID=$!
+ADDR=$(wait_addr "$LOG")
+grep -q '^recovery ' "$LOG" || { echo "server.sh: no recovery report after kill -9" >&2; cat "$LOG" >&2; exit 1; }
+grep -m1 '^recovery ' "$LOG" | grep -q '"replayed"' || { echo "server.sh: recovery report lacks replay count" >&2; exit 1; }
+req get --tenant acme --name k1 | grep -q 'survives-kill-9'
+req get --tenant acme --name k2 | grep -q 'second line'
+req metrics | grep -q 'lake_server_recovery_replayed_total'
+req metrics | grep -q 'lake_server_wal_appended_total'
+# The recovered server still drains cleanly.
+kill -TERM "$SERVER_PID"
+rc=0
+wait "$SERVER_PID" || rc=$?
+if [[ $rc -ne 0 ]]; then
+    echo "server.sh: post-recovery drain exited $rc, want 0" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+SERVER_PID=
+echo "server.sh: kill -9 mid-swarm, restart replayed the journal, acked writes intact"

@@ -10,6 +10,7 @@
 //! Everything in the platform is built on top of this crate; it has no
 //! dependency on any storage or algorithm crate.
 
+pub mod batch;
 pub mod crash;
 pub mod dataset;
 pub mod error;
@@ -25,6 +26,7 @@ pub mod synth;
 pub mod table;
 pub mod value;
 
+pub use batch::{ColumnBatch, DictColumn, DictEntry, NULL_CODE};
 pub use crash::{CrashPoint, CrashSwitch};
 pub use dataset::{Dataset, DatasetKind, DatasetMeta};
 pub use error::{LakeError, Result};

@@ -86,6 +86,22 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     s.sqrt()
 }
 
+/// Exact order statistic: the `q`-th percentile of a **sorted** slice —
+/// the rank-`max(1, ⌈q·n/100⌉)` element (1-based).
+///
+/// This is the single shared definition for every exact-rank percentile
+/// in the workspace (scheduler traces, server swarm reports, benches),
+/// with pinned edge semantics: an empty slice yields 0, a single-element
+/// slice yields that element for any `q ≤ 100`, and a rank beyond the
+/// slice (`q > 100`) yields 0 rather than clamping.
+pub fn percentile_u64(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q.saturating_mul(sorted.len() as u64)).div_ceil(100).max(1) as usize;
+    sorted.get(rank - 1).copied().unwrap_or(0)
+}
+
 /// Harmonic mean of precision and recall; 0 when both are 0.
 pub fn f1(precision: f64, recall: f64) -> f64 {
     if precision + recall == 0.0 {
@@ -129,6 +145,23 @@ mod tests {
     #[test]
     fn euclidean_pads_short_vectors() {
         assert_eq!(euclidean(&[3.0], &[0.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn percentile_pinned_semantics() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_u64(&v, 50), 50);
+        assert_eq!(percentile_u64(&v, 99), 99);
+        assert_eq!(percentile_u64(&v, 100), 100);
+        assert_eq!(percentile_u64(&v, 0), 1);
+        assert_eq!(percentile_u64(&[], 50), 0);
+        assert_eq!(percentile_u64(&[7], 50), 7);
+        assert_eq!(percentile_u64(&[7], 99), 7);
+        assert_eq!(percentile_u64(&[7], 100), 7);
+        // Out-of-range q lands beyond the slice: pinned to 0, not clamped.
+        assert_eq!(percentile_u64(&[7], 200), 0);
+        // No overflow on huge q.
+        assert_eq!(percentile_u64(&[1, 2, 3], u64::MAX), 0);
     }
 
     #[test]

@@ -354,20 +354,16 @@ impl DiscoverySystem for Aurum {
         // Content/PK-FK edges carry instance evidence; name-only edges are
         // weaker (many lakes reuse attribute names across unrelated
         // sources), so they are discounted in the table-level ranking.
-        let scores = corpus
-            .table_profiles(query)
-            .filter_map(|p| corpus.profile_index(p.at))
-            .flat_map(|pi| {
-                self.edges_of(pi)
-                    .map(move |e| {
-                        let w = match e.kind {
-                            EdgeKind::Name => e.weight * 0.5,
-                            _ => e.weight,
-                        };
-                        (if e.from == pi { e.to } else { e.from }, w)
-                    })
-                    .collect::<Vec<_>>()
-            });
+        let mut scores: Vec<(usize, f64)> = Vec::new();
+        for pi in corpus.table_profiles(query).filter_map(|p| corpus.profile_index(p.at)) {
+            for e in self.edges_of(pi) {
+                let w = match e.kind {
+                    EdgeKind::Name => e.weight * 0.5,
+                    _ => e.weight,
+                };
+                scores.push((if e.from == pi { e.to } else { e.from }, w));
+            }
+        }
         corpus.aggregate_to_tables(query, scores, k)
     }
 }

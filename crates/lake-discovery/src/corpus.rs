@@ -6,8 +6,10 @@
 //! Individual systems combine these raw profiles in their own ways
 //! (Table 3's "relatedness criteria").
 
+use lake_core::batch::column_stats;
 use lake_core::par::{self, Parallelism};
-use lake_core::{DataType, Table};
+use lake_core::table::Column;
+use lake_core::{DataType, LakeError, Result, Table};
 use lake_index::minhash::{MinHash, MinHasher};
 use lake_index::tfidf::tokenize_identifier;
 use std::collections::{BTreeSet, HashMap};
@@ -74,6 +76,70 @@ pub const SIGNATURE_LEN: usize = 128;
 /// Shared MinHash seed so signatures are comparable across systems.
 pub const SIGNATURE_SEED: u64 = 0xDA7A_1A6E;
 
+/// Which kernel computes column profiles.
+///
+/// Both paths produce byte-identical [`ColumnProfile`]s — the
+/// `e19_discovery` bench gates this on the million-row lake across
+/// worker counts. `Columnar` is the default; `RowNaive` is retained as
+/// the equality oracle (and for measuring the speedup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfilePath {
+    /// Dictionary-encode each column once, then derive every statistic
+    /// from the dictionary: render/hash/unify each distinct value once.
+    #[default]
+    Columnar,
+    /// Walk row-order `Value`s per statistic, re-rendering duplicates —
+    /// the original implementation.
+    RowNaive,
+}
+
+/// Profile one column on the chosen path. Pure: depends only on the
+/// column bytes, so parallel fan-out and incremental re-profiling agree.
+fn profile_column(path: ProfilePath, col: &Column, at: ColumnRef, hasher: &MinHasher) -> ColumnProfile {
+    match path {
+        ProfilePath::Columnar => {
+            // One strict sort, every distinct value rendered once; the
+            // rendered strings move into the domain set, never cloned.
+            let stats = column_stats(&col.values);
+            // MinHash minima are idempotent, so hashing the strict-
+            // distinct texts (which may repeat a rendering across
+            // representations, e.g. Int(3)/Float(3.0) → "3") equals
+            // hashing the deduped domain.
+            let signature = hasher.signature(stats.texts.iter().map(String::as_str));
+            ColumnProfile {
+                at,
+                name: col.name.clone(),
+                name_tokens: tokenize_identifier(&col.name),
+                dtype: stats.dtype,
+                // Row-order numeric view; `as_f64` is a cheap per-row
+                // conversion, bit-exact on either path.
+                numeric: col.numeric_values(),
+                nulls: stats.null_count,
+                rows: stats.rows,
+                unique: stats.unique,
+                domain: stats.texts.into_iter().collect(),
+                signature,
+            }
+        }
+        ProfilePath::RowNaive => {
+            let domain = col.text_domain();
+            let signature = hasher.signature(domain.iter().map(String::as_str));
+            ColumnProfile {
+                at,
+                name: col.name.clone(),
+                name_tokens: tokenize_identifier(&col.name),
+                dtype: col.inferred_type(),
+                numeric: col.numeric_values(),
+                nulls: col.null_count(),
+                rows: col.len(),
+                unique: col.is_unique(),
+                domain,
+                signature,
+            }
+        }
+    }
+}
+
 /// A profiled table corpus.
 #[derive(Debug, Clone)]
 pub struct TableCorpus {
@@ -91,10 +157,18 @@ impl TableCorpus {
     }
 
     /// Profile a set of tables, fanning per-column profiling out over
-    /// `par` workers. Each column's profile is a pure function of its
-    /// table, so the result — including profile order, which stays
-    /// `(table, column)` — is identical to sequential profiling.
+    /// `par` workers on the default (columnar) kernel. Each column's
+    /// profile is a pure function of its table, so the result — including
+    /// profile order, which stays `(table, column)` — is identical to
+    /// sequential profiling.
     pub fn with_parallelism(tables: Vec<Table>, par: Parallelism) -> TableCorpus {
+        TableCorpus::with_profile_path(tables, par, ProfilePath::default())
+    }
+
+    /// Profile on an explicit kernel path — the equality-gate entry
+    /// point ([`ProfilePath::RowNaive`] is the oracle the columnar path
+    /// is measured and verified against).
+    pub fn with_profile_path(tables: Vec<Table>, par: Parallelism, path: ProfilePath) -> TableCorpus {
         let hasher = MinHasher::new(SIGNATURE_LEN, SIGNATURE_SEED);
         let refs: Vec<ColumnRef> = tables
             .iter()
@@ -105,23 +179,78 @@ impl TableCorpus {
             .collect();
         let profiles: Vec<ColumnProfile> = par::map(par, &refs, |&at| {
             let col = &tables[at.table].columns()[at.column];
-            let domain = col.text_domain();
-            let signature = hasher.signature(domain.iter().map(String::as_str));
-            ColumnProfile {
-                at,
-                name: col.name.clone(),
-                name_tokens: tokenize_identifier(&col.name),
-                dtype: col.inferred_type(),
-                numeric: col.numeric_values(),
-                nulls: col.null_count(),
-                rows: col.len(),
-                unique: col.is_unique(),
-                domain,
-                signature,
-            }
+            profile_column(path, col, at, &hasher)
         });
         let by_ref = profiles.iter().enumerate().map(|(i, p)| (p.at, i)).collect();
         TableCorpus { tables, profiles, by_ref, hasher }
+    }
+
+    /// Append a table, profiling its columns on the columnar kernel.
+    /// Returns the indices of the new profiles (a contiguous tail
+    /// block): the corpus is exactly what a from-scratch profile of the
+    /// extended table list would produce.
+    pub fn push_table(&mut self, table: Table) -> Vec<usize> {
+        let ti = self.tables.len();
+        let mut added = Vec::with_capacity(table.num_columns());
+        for (ci, col) in table.columns().iter().enumerate() {
+            let at = ColumnRef { table: ti, column: ci };
+            let profile = profile_column(ProfilePath::Columnar, col, at, &self.hasher);
+            self.by_ref.insert(at, self.profiles.len());
+            added.push(self.profiles.len());
+            self.profiles.push(profile);
+        }
+        self.tables.push(table);
+        added
+    }
+
+    /// Replace table `ti` in place, re-profiling only its columns. The
+    /// replacement must keep the column count so every profile index in
+    /// the flat list stays stable (downstream indexes key on them).
+    /// Returns the re-profiled indices.
+    pub fn replace_table(&mut self, ti: usize, table: Table) -> Result<Vec<usize>> {
+        let old = self
+            .tables
+            .get(ti)
+            .ok_or_else(|| LakeError::invalid(format!("no table {ti} in corpus")))?;
+        if table.num_columns() != old.num_columns() {
+            return Err(LakeError::invalid(format!(
+                "replacement table {} has {} columns, corpus table has {}",
+                table.name,
+                table.num_columns(),
+                old.num_columns()
+            )));
+        }
+        let mut changed = Vec::with_capacity(table.num_columns());
+        for (ci, col) in table.columns().iter().enumerate() {
+            let at = ColumnRef { table: ti, column: ci };
+            let pi = self
+                .by_ref
+                .get(&at)
+                .copied()
+                .ok_or_else(|| LakeError::invalid(format!("unprofiled column {at:?}")))?;
+            let profile = profile_column(ProfilePath::Columnar, col, at, &self.hasher);
+            if let Some(slot) = self.profiles.get_mut(pi) {
+                *slot = profile;
+            }
+            changed.push(pi);
+        }
+        if let Some(slot) = self.tables.get_mut(ti) {
+            *slot = table;
+        }
+        Ok(changed)
+    }
+
+    /// Insert-or-replace by table name: the delta entry point for
+    /// ingestion-time maintenance. Returns `(table index, re-profiled
+    /// profile indices)`.
+    pub fn upsert_table(&mut self, table: Table) -> Result<(usize, Vec<usize>)> {
+        match self.table_index(&table.name) {
+            Some(ti) => Ok((ti, self.replace_table(ti, table)?)),
+            None => {
+                let ti = self.tables.len();
+                Ok((ti, self.push_table(table)))
+            }
+        }
     }
 
     /// The tables.
@@ -279,6 +408,68 @@ mod tests {
         }
         assert_eq!(c.profile(ColumnRef { table: 7, column: 0 }), None);
         assert_eq!(c.profile_index(ColumnRef { table: 0, column: 9 }), None);
+    }
+
+    #[test]
+    fn columnar_and_row_paths_profile_identically() {
+        // Includes the adversarial cases: Ord-equal mixed representations
+        // (Int(3)/Float(3.0)), signed zeros, NaN, all-null, zero-row.
+        let tables = vec![
+            Table::from_rows(
+                "mixed",
+                &["x", "y"],
+                vec![
+                    vec![Value::Int(3), Value::Float(0.0)],
+                    vec![Value::Float(3.0), Value::Float(-0.0)],
+                    vec![Value::Int(3), Value::Float(f64::NAN)],
+                    vec![Value::Null, Value::Int(0)],
+                ],
+            )
+            .unwrap(),
+            Table::from_rows("nulls", &["a"], vec![vec![Value::Null], vec![Value::Null]]).unwrap(),
+            Table::from_rows("zero", &["z"], vec![]).unwrap(),
+        ];
+        let col = TableCorpus::with_profile_path(
+            tables.clone(),
+            Parallelism::sequential(),
+            ProfilePath::Columnar,
+        );
+        let row = TableCorpus::with_profile_path(
+            tables,
+            Parallelism::sequential(),
+            ProfilePath::RowNaive,
+        );
+        assert_eq!(col.profiles().len(), row.profiles().len());
+        for (c, r) in col.profiles().iter().zip(row.profiles()) {
+            // Compare numeric samples bitwise (NaN != NaN under PartialEq).
+            let cb: Vec<u64> = c.numeric.iter().map(|f| f.to_bits()).collect();
+            let rb: Vec<u64> = r.numeric.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(cb, rb, "{}: numeric bits", c.name);
+            assert_eq!(c.domain, r.domain, "{}: domain", c.name);
+            assert_eq!(c.signature, r.signature, "{}: signature", c.name);
+            assert_eq!(c.dtype, r.dtype, "{}: dtype", c.name);
+            assert_eq!((c.nulls, c.rows, c.unique), (r.nulls, r.rows, r.unique), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn incremental_upserts_match_from_scratch_profile() {
+        let t1 = Table::from_rows("a", &["x"], vec![vec![Value::Int(1)]]).unwrap();
+        let t2 = Table::from_rows("b", &["y"], vec![vec![Value::str("p")]]).unwrap();
+        let t2v2 =
+            Table::from_rows("b", &["y"], vec![vec![Value::str("p")], vec![Value::str("q")]])
+                .unwrap();
+        let mut inc = TableCorpus::new(vec![t1.clone()]);
+        let (ti_b, added) = inc.upsert_table(t2.clone()).unwrap();
+        assert_eq!((ti_b, added), (1, vec![1]));
+        let (ti_b2, changed) = inc.upsert_table(t2v2.clone()).unwrap();
+        assert_eq!((ti_b2, changed), (1, vec![1]));
+        let scratch = TableCorpus::new(vec![t1, t2v2]);
+        assert_eq!(inc.profiles(), scratch.profiles());
+        assert_eq!(inc.tables(), scratch.tables());
+        // Column-count changes are rejected, keeping indices stable.
+        let wide = Table::from_rows("b", &["y", "z"], vec![]).unwrap();
+        assert!(inc.upsert_table(wide).is_err());
     }
 
     #[test]

@@ -64,6 +64,12 @@ impl Default for D3l {
 }
 
 impl D3l {
+    /// A default system with an explicit worker count for
+    /// [`DiscoverySystem::build`].
+    pub fn with_parallelism(par: Parallelism) -> D3l {
+        D3l { par, ..D3l::default() }
+    }
+
     /// Compute the 5 similarity features for a column pair.
     pub fn features(&self, corpus: &TableCorpus, a: usize, b: usize) -> [f64; NUM_FEATURES] {
         let pa = &corpus.profiles()[a];
@@ -113,6 +119,30 @@ impl D3l {
         let mut w = [0.0; NUM_FEATURES];
         w[feature] = 1.0;
         D3l { weights: w, ..Default::default() }
+    }
+
+    /// The per-profile bag embeddings (empty until [`DiscoverySystem::build`]
+    /// or [`D3l::rebuild_profiles`]).
+    pub fn embeddings(&self) -> &[Vec<f64>] {
+        &self.embeddings
+    }
+
+    /// Re-encode the bag embeddings of just the given profile indices
+    /// (growing the embedding table if the corpus gained profiles) — the
+    /// incremental-maintenance delta matching a [`DiscoverySystem::build`]
+    /// from scratch, since each embedding depends only on its own column.
+    pub fn rebuild_profiles(&mut self, corpus: &TableCorpus, indices: &[usize]) {
+        let profiles = corpus.profiles();
+        if self.embeddings.len() < profiles.len() {
+            self.embeddings.resize(profiles.len(), Vec::new());
+        }
+        self.embeddings.truncate(profiles.len());
+        for &pi in indices {
+            let Some(p) = profiles.get(pi) else { continue };
+            if let Some(slot) = self.embeddings.get_mut(pi) {
+                *slot = self.encoder.encode_bag(p.domain.iter().map(String::as_str).take(64));
+            }
+        }
     }
 }
 

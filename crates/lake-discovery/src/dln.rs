@@ -25,32 +25,35 @@ use lake_ml::forest::{ForestConfig, RandomForest};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-/// A JOIN clause from the (synthetic) enterprise query log.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JoinClause {
+/// A JOIN clause from the (synthetic) enterprise query log. Borrows its
+/// names from the log's source (e.g. the ground truth): logs are only
+/// ever read during training, so owning copies of every table/column
+/// name per repeated query would be pure allocation churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinClause<'a> {
     /// Left table name.
-    pub left_table: String,
+    pub left_table: &'a str,
     /// Left column name.
-    pub left_column: String,
+    pub left_column: &'a str,
     /// Right table name.
-    pub right_table: String,
+    pub right_table: &'a str,
     /// Right column name.
-    pub right_column: String,
+    pub right_column: &'a str,
 }
 
 /// Generate a query log whose JOIN clauses follow the planted joinable
 /// ground truth — the label source DLN mines.
-pub fn synthesize_query_log(truth: &GroundTruth, queries_per_pair: usize) -> Vec<JoinClause> {
+pub fn synthesize_query_log(truth: &GroundTruth, queries_per_pair: usize) -> Vec<JoinClause<'_>> {
     truth
         .joinable
         .iter()
         .flat_map(|p| {
             std::iter::repeat_n(
                 JoinClause {
-                    left_table: p.table_a.clone(),
-                    left_column: p.column_a.clone(),
-                    right_table: p.table_b.clone(),
-                    right_column: p.column_b.clone(),
+                    left_table: &p.table_a,
+                    left_column: &p.column_a,
+                    right_table: &p.table_b,
+                    right_column: &p.column_b,
                 },
                 queries_per_pair,
             )
@@ -113,7 +116,7 @@ impl Dln {
 
     /// Train from a query log: JOIN-clause column pairs are positives;
     /// random never-joined pairs are sampled as negatives.
-    pub fn train_from_log(&mut self, corpus: &TableCorpus, log: &[JoinClause]) {
+    pub fn train_from_log(&mut self, corpus: &TableCorpus, log: &[JoinClause<'_>]) {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         let mut positives = std::collections::HashSet::new();
@@ -170,11 +173,11 @@ impl Dln {
     }
 }
 
-fn resolve(corpus: &TableCorpus, j: &JoinClause) -> Option<(usize, usize)> {
-    let ta = corpus.table_index(&j.left_table)?;
-    let tb = corpus.table_index(&j.right_table)?;
-    let ca = corpus.tables()[ta].column_index(&j.left_column)?;
-    let cb = corpus.tables()[tb].column_index(&j.right_column)?;
+fn resolve(corpus: &TableCorpus, j: &JoinClause<'_>) -> Option<(usize, usize)> {
+    let ta = corpus.table_index(j.left_table)?;
+    let tb = corpus.table_index(j.right_table)?;
+    let ca = corpus.tables()[ta].column_index(j.left_column)?;
+    let cb = corpus.tables()[tb].column_index(j.right_column)?;
     let a = corpus.profile_index(crate::ColumnRef { table: ta, column: ca })?;
     let b = corpus.profile_index(crate::ColumnRef { table: tb, column: cb })?;
     Some((a, b))
@@ -257,10 +260,10 @@ mod tests {
         // A planted pair scores high.
         let p = truth.joinable.iter().next().unwrap();
         let j = JoinClause {
-            left_table: p.table_a.clone(),
-            left_column: p.column_a.clone(),
-            right_table: p.table_b.clone(),
-            right_column: p.column_b.clone(),
+            left_table: &p.table_a,
+            left_column: &p.column_a,
+            right_table: &p.table_b,
+            right_column: &p.column_b,
         };
         let (a, b) = resolve(&corpus, &j).unwrap();
         let pos = dln.relatedness(&corpus, a, b);

@@ -11,8 +11,9 @@ use lake_core::synth::GroundTruth;
 /// Evaluation results of one system on one corpus.
 #[derive(Debug, Clone)]
 pub struct EvalReport {
-    /// System name.
-    pub system: String,
+    /// System name (the `&'static` survey name from [`crate::SystemInfo`];
+    /// no owned copy needed).
+    pub system: &'static str,
     /// Mean precision@k over queried tables with ≥1 true relative.
     pub precision_at_k: f64,
     /// Mean recall@k.
@@ -139,7 +140,7 @@ pub fn evaluate_with_options(
     }
 
     EvalReport {
-        system: system.info().name.to_string(),
+        system: system.info().name,
         precision_at_k: if queries == 0 { 0.0 } else { precision_sum / queries as f64 },
         recall_at_k: if queries == 0 { 0.0 } else { recall_sum / queries as f64 },
         build_ms,

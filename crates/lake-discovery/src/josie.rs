@@ -66,6 +66,23 @@ impl Josie {
         k: usize,
         exclude: &[usize],
     ) -> (Vec<(usize, usize)>, JosieStats) {
+        // Borrow the tokens; sorting `&str` views compares the same
+        // string bytes a sorted clone would, without the allocations.
+        let mut q: Vec<&str> = query.iter().map(String::as_str).collect();
+        q.sort_unstable();
+        q.dedup();
+        self.top_k_overlap_sorted(&q, k, exclude)
+    }
+
+    /// [`Josie::top_k_overlap`] over an **already sorted, already
+    /// distinct** borrowed token list — the zero-clone fast path for
+    /// callers holding a `BTreeSet`-backed column domain.
+    pub fn top_k_overlap_sorted(
+        &self,
+        q: &[&str],
+        k: usize,
+        exclude: &[usize],
+    ) -> (Vec<(usize, usize)>, JosieStats) {
         let mut stats = JosieStats::default();
         if k == 0 {
             // Guard: the kth-best closure below indexes `results[k - 1]`,
@@ -73,13 +90,10 @@ impl Josie {
             // consistent result for "top zero".
             return (Vec::new(), stats);
         }
-        let mut q: Vec<String> = query.to_vec();
-        q.sort();
-        q.dedup();
         // Order query tokens by posting length ascending (cheap lists first).
-        let mut toks: Vec<(String, usize)> = q
+        let mut toks: Vec<(&str, usize)> = q
             .iter()
-            .map(|t| (t.clone(), self.index.posting_len(t)))
+            .map(|&t| (t, self.index.posting_len(t)))
             .filter(|(_, l)| *l > 0)
             .collect();
         toks.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -121,7 +135,7 @@ impl Josie {
                     }
                     if partial[&id] + remaining_tokens > threshold {
                         stats.candidates_probed += 1;
-                        let ov = self.index.overlap_with(&q, id);
+                        let ov = self.index.overlap_with_strs(q, id);
                         exact.insert(id, ov);
                         push_result(&mut results, k, id, ov);
                     }
@@ -149,7 +163,7 @@ impl Josie {
                         continue;
                     }
                     stats.candidates_probed += 1;
-                    let ov = self.index.overlap_with(&q, id);
+                    let ov = self.index.overlap_with_strs(q, id);
                     exact.insert(id, ov);
                     push_result(&mut results, k, id, ov);
                 }
@@ -163,7 +177,7 @@ impl Josie {
             }
 
             // Read this posting list.
-            let (tok, plen) = &toks[ti];
+            let (tok, plen) = toks[ti];
             stats.postings_read += plen;
             for &id in self.index.posting(tok) {
                 if exclude.contains(&id) {
@@ -194,14 +208,21 @@ impl Josie {
 
     /// Brute-force baseline (scan every posting list fully) for E2.
     pub fn top_k_baseline(&self, query: &[String], k: usize, exclude: &[usize]) -> (Vec<(usize, usize)>, usize) {
-        let all = self.index.overlap_counts(query.to_vec());
-        let mut work = 0;
-        let mut q = query.to_vec();
-        q.sort();
+        let mut q: Vec<&str> = query.iter().map(String::as_str).collect();
+        q.sort_unstable();
         q.dedup();
-        for t in &q {
+        // Scan every posting list, counting overlaps — the "merge
+        // everything" plan whose cost is the work baseline.
+        let mut work = 0;
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for &t in &q {
             work += self.index.posting_len(t);
+            for &id in self.index.posting(t) {
+                *counts.entry(id).or_insert(0) += 1;
+            }
         }
+        let mut all: Vec<(usize, usize)> = counts.into_iter().collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let filtered: Vec<(usize, usize)> = all
             .into_iter()
             .filter(|(id, _)| !exclude.contains(id))
@@ -239,7 +260,9 @@ impl DiscoverySystem for Josie {
         let built: Vec<InvertedIndex> = par::map(self.par, &shards, |&(lo, hi)| {
             let mut shard = InvertedIndex::new();
             for pi in lo..hi {
-                shard.insert(pi, profiles[pi].domain.iter().cloned());
+                // Profile domains are BTreeSets: already sorted and
+                // distinct, so the re-sort/dedup of `insert` is skipped.
+                shard.insert_sorted(pi, profiles[pi].domain.iter().cloned());
             }
             shard
         });
@@ -257,8 +280,10 @@ impl DiscoverySystem for Josie {
             .collect();
         let mut scores: Vec<(usize, f64)> = Vec::new();
         for p in corpus.table_profiles(query) {
-            let q: Vec<String> = p.domain.iter().cloned().collect();
-            let (hits, _) = self.top_k_overlap(&q, k * 4, &exclude);
+            // A BTreeSet iterates sorted and distinct — straight to the
+            // zero-clone fast path.
+            let q: Vec<&str> = p.domain.iter().map(String::as_str).collect();
+            let (hits, _) = self.top_k_overlap_sorted(&q, k * 4, &exclude);
             for (id, ov) in hits {
                 // Normalize overlap by query domain size for comparability.
                 let denom = p.domain.len().max(1) as f64;

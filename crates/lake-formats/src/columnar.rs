@@ -17,6 +17,7 @@
 //! catalog profiling need.
 
 use crate::varint::{get_f64, get_i64, get_str, get_u64, put_f64, put_i64, put_str, put_u64};
+use lake_core::batch::{ColumnBatch, DictColumn, NULL_CODE};
 use lake_core::{Column, LakeError, Result, Table, Value};
 use std::collections::BTreeMap;
 
@@ -142,20 +143,25 @@ pub fn encode(table: &Table) -> Vec<u8> {
         let use_dict = stats.distinct > 0 && (stats.distinct as usize) * 2 < col.values.len();
         let mut payload = Vec::new();
         if use_dict {
+            // Assign codes while interning, so emitting them needs no
+            // second map lookup (and no panicking index).
             let mut dict: Vec<&Value> = Vec::new();
             let mut code_of: BTreeMap<&Value, u64> = BTreeMap::new();
+            let mut codes: Vec<u64> = Vec::with_capacity(col.values.len());
             for v in &col.values {
-                if !code_of.contains_key(v) {
-                    code_of.insert(v, dict.len() as u64);
+                let next = dict.len() as u64;
+                let code = *code_of.entry(v).or_insert_with(|| {
                     dict.push(v);
-                }
+                    next
+                });
+                codes.push(code);
             }
             put_u64(&mut payload, dict.len() as u64);
             for v in &dict {
                 put_value(&mut payload, v);
             }
-            for v in &col.values {
-                put_u64(&mut payload, code_of[v]);
+            for c in codes {
+                put_u64(&mut payload, c);
             }
         } else {
             for v in &col.values {
@@ -174,7 +180,7 @@ pub fn encode(table: &Table) -> Vec<u8> {
 }
 
 fn read_header(buf: &[u8]) -> Result<(String, usize, usize, usize)> {
-    if buf.len() < 4 || &buf[..4] != MAGIC {
+    if buf.get(..4) != Some(MAGIC.as_slice()) {
         return Err(LakeError::parse("not a parquet-lite buffer"));
     }
     let mut pos = 4;
@@ -184,58 +190,184 @@ fn read_header(buf: &[u8]) -> Result<(String, usize, usize, usize)> {
     Ok((name, rows, cols, pos))
 }
 
+/// One column's header fields plus its payload slice; advances `pos`
+/// past the payload. Shared by the table, batch, and stats readers.
+fn read_column_header<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+) -> Result<(ColumnStats, u8, &'a [u8])> {
+    let name = get_str(buf, pos)?;
+    let Some(&enc) = buf.get(*pos) else {
+        return Err(LakeError::parse("truncated column header"));
+    };
+    *pos += 1;
+    let min = get_opt_value(buf, pos)?;
+    let max = get_opt_value(buf, pos)?;
+    let null_count = get_u64(buf, pos)?;
+    let distinct = get_u64(buf, pos)?;
+    let plen = get_u64(buf, pos)? as usize;
+    let payload = pos
+        .checked_add(plen)
+        .and_then(|end| buf.get(*pos..end))
+        .ok_or_else(|| LakeError::parse("truncated column payload"))?;
+    *pos += plen;
+    Ok((ColumnStats { name, min, max, null_count, distinct }, enc, payload))
+}
+
+/// Decode one column payload into row-order values. Capacity hints are
+/// clamped by the payload size (every encoded value and code is at least
+/// one byte), so a corrupt header claiming 2^60 rows cannot trigger an
+/// allocation abort — it runs out of payload and returns a parse error.
+fn decode_payload(enc: u8, rows: usize, payload: &[u8]) -> Result<Vec<Value>> {
+    let mut p = 0;
+    match enc {
+        ENC_PLAIN => {
+            let mut vs = Vec::with_capacity(rows.min(payload.len()));
+            for _ in 0..rows {
+                vs.push(get_value(payload, &mut p)?);
+            }
+            Ok(vs)
+        }
+        ENC_DICT => {
+            let (dict, codes) = decode_dict_payload(rows, payload)?;
+            let mut vs = Vec::with_capacity(rows.min(payload.len()));
+            for code in codes {
+                let v = if code == NULL_CODE {
+                    Value::Null
+                } else {
+                    dict.get(code as usize)
+                        .cloned()
+                        .ok_or_else(|| LakeError::parse("dictionary code out of range"))?
+                };
+                vs.push(v);
+            }
+            Ok(vs)
+        }
+        t => Err(LakeError::parse(format!("bad encoding tag {t}"))),
+    }
+}
+
+/// Decode a dictionary payload into `(dict, row codes)` without touching
+/// per-row values: codes of `Value::Null` dictionary entries are folded
+/// to [`NULL_CODE`]. Codes are *not* range-checked here beyond `u32`
+/// (the dictionary may legitimately be consulted lazily); consumers
+/// validate on lookup.
+fn decode_dict_payload(rows: usize, payload: &[u8]) -> Result<(Vec<Value>, Vec<u32>)> {
+    let mut p = 0;
+    let dlen = get_u64(payload, &mut p)? as usize;
+    let mut dict = Vec::with_capacity(dlen.min(payload.len()));
+    for _ in 0..dlen {
+        dict.push(get_value(payload, &mut p)?);
+    }
+    let mut codes = Vec::with_capacity(rows.min(payload.len()));
+    for _ in 0..rows {
+        let raw = get_u64(payload, &mut p)?;
+        let code = u32::try_from(raw)
+            .ok()
+            .filter(|&c| c != NULL_CODE)
+            .ok_or_else(|| LakeError::parse("dictionary code out of range"))?;
+        let is_null = dict.get(code as usize).is_some_and(Value::is_null);
+        codes.push(if is_null { NULL_CODE } else { code });
+    }
+    Ok((dict, codes))
+}
+
 /// Decode a full table.
 pub fn decode(buf: &[u8]) -> Result<Table> {
     let (name, rows, ncols, mut pos) = read_header(buf)?;
-    let mut columns = Vec::with_capacity(ncols);
+    let mut columns = Vec::with_capacity(ncols.min(buf.len()));
     for _ in 0..ncols {
-        let cname = get_str(buf, &mut pos)?;
-        let Some(&enc) = buf.get(pos) else {
-            return Err(LakeError::parse("truncated column header"));
-        };
-        pos += 1;
-        let _min = get_opt_value(buf, &mut pos)?;
-        let _max = get_opt_value(buf, &mut pos)?;
-        let _nulls = get_u64(buf, &mut pos)?;
-        let _distinct = get_u64(buf, &mut pos)?;
-        let plen = get_u64(buf, &mut pos)? as usize;
-        let end = pos
-            .checked_add(plen)
-            .filter(|&e| e <= buf.len())
-            .ok_or_else(|| LakeError::parse("truncated column payload"))?;
-        let payload = &buf[pos..end];
-        pos = end;
-        let mut p = 0;
-        let values = match enc {
-            ENC_PLAIN => {
-                let mut vs = Vec::with_capacity(rows);
-                for _ in 0..rows {
-                    vs.push(get_value(payload, &mut p)?);
-                }
-                vs
-            }
-            ENC_DICT => {
-                let dlen = get_u64(payload, &mut p)? as usize;
-                let mut dict = Vec::with_capacity(dlen);
-                for _ in 0..dlen {
-                    dict.push(get_value(payload, &mut p)?);
-                }
-                let mut vs = Vec::with_capacity(rows);
-                for _ in 0..rows {
-                    let code = get_u64(payload, &mut p)? as usize;
-                    let v = dict
-                        .get(code)
-                        .cloned()
-                        .ok_or_else(|| LakeError::parse("dictionary code out of range"))?;
-                    vs.push(v);
-                }
-                vs
-            }
-            t => return Err(LakeError::parse(format!("bad encoding tag {t}"))),
-        };
-        columns.push(Column::new(cname, values));
+        let (stats, enc, payload) = read_column_header(buf, &mut pos)?;
+        let values = decode_payload(enc, rows, payload)?;
+        columns.push(Column::new(stats.name, values));
     }
     Table::from_columns(name, columns)
+}
+
+/// Decode straight into the dictionary-encoded execution format.
+///
+/// Dictionary-encoded columns keep their codes (null entries folded to
+/// [`NULL_CODE`]) and only re-canonicalize the dictionary itself; plain
+/// columns are encoded on the way in. Either way the result is exactly
+/// [`ColumnBatch::from_table`]` of `[`decode`] — pinned by test.
+pub fn decode_batch(buf: &[u8]) -> Result<ColumnBatch> {
+    let (name, rows, ncols, mut pos) = read_header(buf)?;
+    let mut columns = Vec::with_capacity(ncols.min(buf.len()));
+    for _ in 0..ncols {
+        let (stats, enc, payload) = read_column_header(buf, &mut pos)?;
+        let col = match enc {
+            ENC_DICT => {
+                let (dict, codes) = decode_dict_payload(rows, payload)?;
+                DictColumn::from_dict_codes(stats.name, dict, &codes)?
+            }
+            _ => {
+                let values = decode_payload(enc, rows, payload)?;
+                DictColumn::from_values(stats.name, &values)
+            }
+        };
+        if col.len() != rows {
+            return Err(LakeError::parse("column shorter than row count"));
+        }
+        columns.push(col);
+    }
+    ColumnBatch::from_columns(name, columns)
+}
+
+/// Encode a [`ColumnBatch`] to parquet-lite bytes straight from its
+/// dictionaries — no row-order `Value` materialization.
+///
+/// Statistics come from the strict-sorted dictionary (first entry is the
+/// Ord-minimum, last the Ord-maximum), so for columns holding Ord-equal
+/// mixed representations (`Int(3)`/`Float(3.0)`) the stored min/max
+/// *representation* can differ from [`encode`]'s row-order pick; the
+/// values compare `Equal`, so data skipping is unaffected, and decoding
+/// yields an equal table.
+pub fn encode_batch(batch: &ColumnBatch) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_str(&mut out, &batch.name);
+    put_u64(&mut out, batch.len() as u64);
+    put_u64(&mut out, batch.columns().len() as u64);
+    for col in batch.columns() {
+        put_str(&mut out, col.name());
+        let distinct = col.cardinality() as u64;
+        let use_dict = distinct > 0 && (distinct as usize) * 2 < col.len();
+        let mut payload = Vec::new();
+        if use_dict {
+            // Dictionary page: the strict-distinct entries plus one null
+            // slot when the column has nulls, codes straight from the
+            // batch (nulls remapped onto the extra slot).
+            let nulls = col.null_count() > 0;
+            put_u64(&mut payload, (col.entries().len() + usize::from(nulls)) as u64);
+            for e in col.entries() {
+                put_value(&mut payload, &e.value);
+            }
+            if nulls {
+                put_value(&mut payload, &Value::Null);
+            }
+            let null_slot = col.entries().len() as u64;
+            for &c in col.codes() {
+                put_u64(&mut payload, if c == NULL_CODE { null_slot } else { u64::from(c) });
+            }
+        } else {
+            for &c in col.codes() {
+                match col.entries().get(c as usize) {
+                    Some(e) => put_value(&mut payload, &e.value),
+                    None => put_value(&mut payload, &Value::Null),
+                }
+            }
+        }
+        out.push(if use_dict { ENC_DICT } else { ENC_PLAIN });
+        let min = col.entries().first().map(|e| e.value.clone());
+        let max = col.entries().last().map(|e| e.value.clone());
+        put_opt_value(&mut out, &min);
+        put_opt_value(&mut out, &max);
+        put_u64(&mut out, col.null_count() as u64);
+        put_u64(&mut out, distinct);
+        put_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+    }
+    out
 }
 
 /// Read only the per-column statistics — no payload decoding.
@@ -244,20 +376,10 @@ pub fn decode(buf: &[u8]) -> Result<Table> {
 /// statistics to prune files before scanning them.
 pub fn read_stats(buf: &[u8]) -> Result<Vec<ColumnStats>> {
     let (_, _, ncols, mut pos) = read_header(buf)?;
-    let mut stats = Vec::with_capacity(ncols);
+    let mut stats = Vec::with_capacity(ncols.min(buf.len()));
     for _ in 0..ncols {
-        let name = get_str(buf, &mut pos)?;
-        pos += 1; // encoding tag
-        let min = get_opt_value(buf, &mut pos)?;
-        let max = get_opt_value(buf, &mut pos)?;
-        let null_count = get_u64(buf, &mut pos)?;
-        let distinct = get_u64(buf, &mut pos)?;
-        let plen = get_u64(buf, &mut pos)? as usize;
-        pos = pos
-            .checked_add(plen)
-            .filter(|&e| e <= buf.len())
-            .ok_or_else(|| LakeError::parse("truncated column payload"))?;
-        stats.push(ColumnStats { name, min, max, null_count, distinct });
+        let (s, _, _) = read_column_header(buf, &mut pos)?;
+        stats.push(s);
     }
     Ok(stats)
 }
@@ -337,6 +459,72 @@ mod tests {
         let mut bad = buf.clone();
         bad[0] = b'X';
         assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn batch_decode_matches_table_decode() {
+        let t = sample();
+        let buf = encode(&t);
+        let b = decode_batch(&buf).unwrap();
+        assert_eq!(b, ColumnBatch::from_table(&decode(&buf).unwrap()));
+        assert_eq!(b.to_table().unwrap(), t);
+    }
+
+    #[test]
+    fn batch_encode_roundtrips() {
+        let t = sample();
+        let b = ColumnBatch::from_table(&t);
+        let buf = encode_batch(&b);
+        assert_eq!(decode(&buf).unwrap(), t);
+        assert_eq!(decode_batch(&buf).unwrap(), b);
+        let stats = read_stats(&buf).unwrap();
+        let pop = stats.iter().find(|s| s.name == "pop").unwrap();
+        assert_eq!(pop.min, Some(Value::Float(0.1)));
+        assert_eq!(pop.max, Some(Value::Float(3.6)));
+        assert_eq!(pop.null_count, 1);
+        assert_eq!(pop.distinct, 4);
+    }
+
+    #[test]
+    fn batch_dict_encoding_with_nulls_roundtrips() {
+        // Repetitive column with nulls: the dict page grows a null slot
+        // whose codes fold back to NULL_CODE on decode.
+        let reps: Vec<lake_core::Row> = (0..300)
+            .map(|i| {
+                vec![if i % 3 == 0 { Value::Null } else { Value::str(if i % 2 == 0 { "aa" } else { "bb" }) }]
+            })
+            .collect();
+        let t = Table::from_rows("r", &["x"], reps).unwrap();
+        let b = ColumnBatch::from_table(&t);
+        let buf = encode_batch(&b);
+        assert_eq!(decode(&buf).unwrap(), t);
+        assert_eq!(decode_batch(&buf).unwrap(), b);
+    }
+
+    #[test]
+    fn batch_zero_rows_and_all_null_roundtrip() {
+        for t in [
+            Table::empty("e"),
+            Table::from_rows("z", &["a", "b"], vec![]).unwrap(),
+            Table::from_rows("n", &["a"], vec![vec![Value::Null], vec![Value::Null]]).unwrap(),
+        ] {
+            let b = ColumnBatch::from_table(&t);
+            assert_eq!(decode_batch(&encode(&t)).unwrap(), b, "{}", t.name);
+            assert_eq!(decode(&encode_batch(&b)).unwrap(), t, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn mixed_representation_dict_column_decodes_to_ord_equal_rows() {
+        // Disk dictionaries dedup by Ord (Int(3) and Float(3.0) share an
+        // entry), so the batch decoder must tolerate Ord-equal collapses
+        // and still satisfy the decode_batch == from_table(decode) pin.
+        let rows: Vec<lake_core::Row> = (0..100)
+            .map(|i| vec![if i % 2 == 0 { Value::Int(3) } else { Value::Float(3.0) }])
+            .collect();
+        let t = Table::from_rows("m", &["x"], rows).unwrap();
+        let buf = encode(&t);
+        assert_eq!(decode_batch(&buf).unwrap(), ColumnBatch::from_table(&decode(&buf).unwrap()));
     }
 
     #[test]

@@ -74,13 +74,13 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
 
 /// Read a fixed 8-byte `f64`.
 pub fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
-    let end = *pos + 8;
-    if end > buf.len() {
-        return Err(LakeError::parse("truncated f64"));
-    }
+    let bytes = pos
+        .checked_add(8)
+        .and_then(|end| buf.get(*pos..end))
+        .ok_or_else(|| LakeError::parse("truncated f64"))?;
     let mut b = [0u8; 8];
-    b.copy_from_slice(&buf[*pos..end]);
-    *pos = end;
+    b.copy_from_slice(bytes);
+    *pos += 8;
     Ok(f64::from_le_bytes(b))
 }
 

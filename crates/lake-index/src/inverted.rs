@@ -27,12 +27,28 @@ impl InvertedIndex {
     /// Index `tokens` as set `id` (duplicates are collapsed; replaces any
     /// previous set with the same id).
     pub fn insert(&mut self, id: usize, tokens: impl IntoIterator<Item = String>) {
-        if self.sets.contains_key(&id) {
-            self.remove(id);
-        }
         let mut distinct: Vec<String> = tokens.into_iter().collect();
         distinct.sort();
         distinct.dedup();
+        self.insert_sorted(id, distinct);
+    }
+
+    /// Index an **already sorted, already distinct** token list as set
+    /// `id` — the fast path for callers holding a `BTreeSet`-backed
+    /// domain (column profiles), skipping the re-sort/dedup. Tokens that
+    /// are out of order or duplicated are dropped rather than corrupting
+    /// the postings invariant.
+    pub fn insert_sorted(&mut self, id: usize, tokens: impl IntoIterator<Item = String>) {
+        if self.sets.contains_key(&id) {
+            self.remove(id);
+        }
+        let mut distinct: Vec<String> = Vec::new();
+        for tok in tokens {
+            match distinct.last() {
+                Some(prev) if *prev >= tok => continue,
+                _ => distinct.push(tok),
+            }
+        }
         for tok in &distinct {
             let list = self.postings.entry(tok.clone()).or_default();
             match list.binary_search(&id) {
@@ -119,20 +135,14 @@ impl InvertedIndex {
     /// Exact overlap (intersection size) between a query token list and
     /// set `id`, by merging sorted token lists.
     pub fn overlap_with(&self, query_sorted: &[String], id: usize) -> usize {
-        let set = self.set_tokens(id);
-        let (mut i, mut j, mut n) = (0, 0, 0);
-        while i < query_sorted.len() && j < set.len() {
-            match query_sorted[i].cmp(&set[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    n += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        n
+        merge_overlap(query_sorted.iter().map(String::as_str), self.set_tokens(id))
+    }
+
+    /// Borrowed-token variant of [`InvertedIndex::overlap_with`] — lets
+    /// callers probe with `&str` views of a profile domain without
+    /// cloning the query tokens first.
+    pub fn overlap_with_strs(&self, query_sorted: &[&str], id: usize) -> usize {
+        merge_overlap(query_sorted.iter().copied(), self.set_tokens(id))
     }
 
     /// Accumulate overlap counts for `query` across all indexed sets by
@@ -153,6 +163,30 @@ impl InvertedIndex {
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
+}
+
+/// Sorted-merge intersection count of two ascending token sequences.
+fn merge_overlap<'a>(query: impl Iterator<Item = &'a str>, set: &[String]) -> usize {
+    let mut it = set.iter();
+    let mut cur = it.next();
+    let mut n = 0;
+    for q in query {
+        while let Some(s) = cur {
+            match s.as_str().cmp(q) {
+                std::cmp::Ordering::Less => cur = it.next(),
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    cur = it.next();
+                    break;
+                }
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+        if cur.is_none() {
+            break;
+        }
+    }
+    n
 }
 
 #[cfg(test)]
@@ -188,6 +222,33 @@ mod tests {
         ix.insert(9, toks(&["a", "a", "b"]));
         assert_eq!(ix.set_size(9), 2);
         assert_eq!(ix.posting("a"), &[9]);
+    }
+
+    #[test]
+    fn insert_sorted_matches_insert() {
+        let mut plain = InvertedIndex::new();
+        plain.insert(1, toks(&["c", "a", "b", "a"]));
+        let mut fast = InvertedIndex::new();
+        fast.insert_sorted(1, toks(&["a", "b", "c"]));
+        assert_eq!(fast.set_tokens(1), plain.set_tokens(1));
+        for t in ["a", "b", "c"] {
+            assert_eq!(fast.posting(t), plain.posting(t));
+        }
+        // Out-of-order / duplicate tokens are dropped, preserving the
+        // sorted-distinct invariant instead of corrupting it.
+        let mut bad = InvertedIndex::new();
+        bad.insert_sorted(2, toks(&["b", "a", "b", "c"]));
+        assert_eq!(bad.set_tokens(2), &["b", "c"]);
+    }
+
+    #[test]
+    fn borrowed_overlap_matches_owned() {
+        let ix = index();
+        let q = toks(&["b", "c", "d"]);
+        let qs: Vec<&str> = q.iter().map(String::as_str).collect();
+        for id in [1, 2, 3, 99] {
+            assert_eq!(ix.overlap_with_strs(&qs, id), ix.overlap_with(&q, id));
+        }
     }
 
     #[test]

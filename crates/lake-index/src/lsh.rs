@@ -63,6 +63,12 @@ impl LshIndex {
     }
 
     /// Insert (or replace) an item's signature.
+    ///
+    /// Buckets are kept **sorted by id**, so the index is canonical: it
+    /// depends only on the final `(id, signature)` mapping, never on
+    /// insertion order. That is what lets incremental maintenance
+    /// (remove + re-insert on a `StreamIngestor` flush) produce an index
+    /// byte-identical to a from-scratch rebuild.
     pub fn insert(&mut self, id: usize, sig: MinHash) {
         assert_eq!(sig.len(), self.signature_len(), "signature length mismatch");
         if self.signatures.contains_key(&id) {
@@ -70,7 +76,10 @@ impl LshIndex {
         }
         for band in 0..self.bands {
             let h = self.band_hash(&sig, band);
-            self.tables[band].entry(h).or_default().push(id);
+            let bucket = self.tables[band].entry(h).or_default();
+            if let Err(pos) = bucket.binary_search(&id) {
+                bucket.insert(pos, id);
+            }
         }
         self.signatures.insert(id, sig);
     }
@@ -80,10 +89,10 @@ impl LshIndex {
     /// Band hashing (FNV over `rows` values per band, `bands` bands per
     /// item) dominates index construction; it is a pure function of each
     /// signature, so it fans out over `par` workers. The bucket mutations
-    /// then replay serially *in input order*, making the resulting index
-    /// identical to one built by calling [`LshIndex::insert`] in a loop —
-    /// including bucket-internal id order, which candidate enumeration
-    /// exposes.
+    /// then replay serially, landing each id at its sorted bucket
+    /// position, so the resulting index is identical to one built by
+    /// calling [`LshIndex::insert`] in a loop — in *any* order, since
+    /// buckets are canonical (sorted by id).
     pub fn insert_batch(&mut self, items: Vec<(usize, MinHash)>, par: Parallelism) {
         for (_, sig) in &items {
             assert_eq!(sig.len(), self.signature_len(), "signature length mismatch");
@@ -96,7 +105,10 @@ impl LshIndex {
                 self.remove(id);
             }
             for (band, h) in band_hashes.into_iter().enumerate() {
-                self.tables[band].entry(h).or_default().push(id);
+                let bucket = self.tables[band].entry(h).or_default();
+                if let Err(pos) = bucket.binary_search(&id) {
+                    bucket.insert(pos, id);
+                }
             }
             self.signatures.insert(id, sig);
         }
@@ -292,6 +304,39 @@ mod tests {
             .query_verified(&sig(&h, &set("v", 50)), 0.0)
             .iter()
             .all(|&(id, est)| id == 2 && est > 0.0));
+    }
+
+    #[test]
+    fn index_is_canonical_under_insertion_order_and_replacement() {
+        // The incremental-maintenance contract: the index depends only on
+        // the final (id, signature) mapping. Build in ascending order,
+        // descending order, and via a replace-after-stale-insert path —
+        // all three must answer every query identically.
+        let h = MinHasher::new(128, 1);
+        let items: Vec<(usize, MinHash)> =
+            (0..20).map(|i| (i, sig(&h, &set(&format!("g{}", i / 4), 40)))).collect();
+        let mut asc = LshIndex::new(32, 4);
+        for (id, s) in items.clone() {
+            asc.insert(id, s);
+        }
+        let mut desc = LshIndex::new(32, 4);
+        for (id, s) in items.clone().into_iter().rev() {
+            desc.insert(id, s);
+        }
+        let mut replaced = LshIndex::new(32, 4);
+        for (id, _) in &items {
+            replaced.insert(*id, sig(&h, &set("stale", 40)));
+        }
+        for (id, s) in items.clone() {
+            replaced.insert(id, s);
+        }
+        for idx in [&desc, &replaced] {
+            assert_eq!(idx.candidate_pairs(), asc.candidate_pairs());
+            for (id, s) in &items {
+                assert_eq!(idx.query(s), asc.query(s), "id={id}");
+                assert_eq!(idx.signature(*id), Some(s));
+            }
+        }
     }
 
     #[test]

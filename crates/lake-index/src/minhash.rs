@@ -38,11 +38,12 @@ impl MinHasher {
     pub fn signature_of_hashes(&self, hashes: impl IntoIterator<Item = u64> + Clone) -> MinHash {
         let mut mins = vec![u64::MAX; self.coeffs.len()];
         for h in hashes {
-            for (i, (a, b)) in self.coeffs.iter().enumerate() {
+            // Branchless zip keeps the inner loop bounds-check-free and
+            // vectorizable — this loop runs k× per distinct value across
+            // every corpus build.
+            for ((a, b), m) in self.coeffs.iter().zip(mins.iter_mut()) {
                 let v = h.wrapping_mul(*a).wrapping_add(*b);
-                if v < mins[i] {
-                    mins[i] = v;
-                }
+                *m = v.min(*m);
             }
         }
         MinHash { mins }
@@ -58,11 +59,9 @@ impl MinHasher {
     /// incremental-update path Aurum uses when data changes (E4).
     pub fn update(&self, sig: &mut MinHash, item: &str) {
         let h = fnv1a(item.as_bytes());
-        for (i, (a, b)) in self.coeffs.iter().enumerate() {
+        for ((a, b), m) in self.coeffs.iter().zip(sig.mins.iter_mut()) {
             let v = h.wrapping_mul(*a).wrapping_add(*b);
-            if v < sig.mins[i] {
-                sig.mins[i] = v;
-            }
+            *m = v.min(*m);
         }
     }
 }

@@ -60,7 +60,13 @@ impl TfIdfCorpus {
             seen.sort();
             seen.dedup();
             for tok in seen {
-                *doc_freq.entry(tok.clone()).or_insert(0) += 1;
+                // Clone the token only on first sight, not once per doc.
+                match doc_freq.get_mut(tok) {
+                    Some(df) => *df += 1,
+                    None => {
+                        doc_freq.insert(tok.clone(), 1);
+                    }
+                }
             }
         }
         TfIdfCorpus { doc_freq, num_docs }

@@ -154,7 +154,13 @@ impl fmt::Display for Finding {
 /// guarantees depend on no out-of-bounds panics, plus lake-obs — metric
 /// recording sits on every instrumented hot path and must never abort it —
 /// and lake-sched, whose event loop must drain every schedule it is handed.
+/// The columnar execution spine is covered file-by-file: the dictionary
+/// batch kernels, the parquet-lite codec, and incremental index
+/// maintenance all run inside every profiling/ingest hot loop.
 pub const HOT_PATHS: &[&str] = &[
+    "crates/lake-core/src/batch.rs",
+    "crates/lake-discovery/src/incremental.rs",
+    "crates/lake-formats/src/columnar.rs",
     "crates/lake-house/src/",
     "crates/lake-obs/src/",
     "crates/lake-sched/src/",

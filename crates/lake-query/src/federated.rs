@@ -295,7 +295,7 @@ impl<'a> FederatedEngine<'a> {
         q_start_us: u64,
         stats: &mut ExecStats,
     ) -> Result<Option<Vec<Vec<Value>>>> {
-        let Some(cfg) = self.degradation.clone() else {
+        let Some(cfg) = self.degradation.as_ref() else {
             // No degradation: fail-fast, but faults still intercept so
             // the decorator works standalone.
             stats.subqueries += 1;
@@ -315,7 +315,7 @@ impl<'a> FederatedEngine<'a> {
                 return self.skip(
                     src,
                     SkipReason::Deadline,
-                    &cfg,
+                    cfg,
                     stats,
                     LakeError::transient(format!(
                         "query deadline ({total}ms) expired before consulting {}",
@@ -331,7 +331,7 @@ impl<'a> FederatedEngine<'a> {
                 return self.skip(
                     src,
                     SkipReason::BreakerOpen,
-                    &cfg,
+                    cfg,
                     stats,
                     LakeError::transient(format!("circuit open for {}", src.location)),
                 );
@@ -357,7 +357,7 @@ impl<'a> FederatedEngine<'a> {
                 let state =
                     self.breakers.record(&src.location, &cfg.breaker, self.clock.now_micros(), false);
                 self.export_breaker(&src.location, state);
-                self.skip(src, SkipReason::Failed, &cfg, stats, e)
+                self.skip(src, SkipReason::Failed, cfg, stats, e)
             }
             Ok((rows, moved)) => {
                 stats.rows_moved += moved;
@@ -378,7 +378,7 @@ impl<'a> FederatedEngine<'a> {
                     self.skip(
                         src,
                         SkipReason::Timeout,
-                        &cfg,
+                        cfg,
                         stats,
                         LakeError::transient(format!(
                             "source {} exceeded its {}ms deadline",
@@ -482,28 +482,34 @@ impl<'a> FederatedEngine<'a> {
                 } else {
                     self.store.relational.scan(&src.location, &[], None)?
                 };
-                let mut rows: Vec<Vec<Value>> = t.iter_rows().collect();
-                let moved = rows.len();
-                if !pushdown {
-                    // Mediator-side filtering + projection.
+                let moved = t.num_rows();
+                let rows: Vec<Vec<Value>> = if pushdown {
+                    t.iter_rows().collect()
+                } else {
+                    // Mediator-side filtering + projection. Column
+                    // positions are fixed for the whole table, so resolve
+                    // each name once instead of per row.
                     let full = t;
-                    rows = full
-                        .iter_rows()
+                    let filter_idx: Vec<Option<usize>> = mapped_filters
+                        .iter()
+                        .map(|p| full.column_index(&p.attribute))
+                        .collect();
+                    let select_idx: Vec<Option<usize>> =
+                        mapped_select.iter().map(|c| full.column_index(c)).collect();
+                    full.iter_rows()
                         .filter(|row| {
-                            mapped_filters.iter().all(|p| {
-                                full.column_index(&p.attribute)
-                                    .map(|i| p.matches(&row[i]))
-                                    .unwrap_or(false)
+                            mapped_filters.iter().zip(&filter_idx).all(|(p, i)| {
+                                i.map(|i| p.matches(&row[i])).unwrap_or(false)
                             })
                         })
                         .map(|row| {
-                            mapped_select
+                            select_idx
                                 .iter()
-                                .map(|c| full.column_index(c).map(|i| row[i].clone()).unwrap_or(Value::Null))
+                                .map(|i| i.map(|i| row[i].clone()).unwrap_or(Value::Null))
                                 .collect()
                         })
-                        .collect();
-                }
+                        .collect()
+                };
                 Ok((rows, moved))
             }
             StoreKind::Document => {
@@ -563,28 +569,28 @@ impl<'a> FederatedEngine<'a> {
                     // only matching rows count as moved (added below).
                     moved += t.num_rows();
                 }
+                // Resolve filter/projection positions once, not per row.
+                let filter_idx: Vec<Option<usize>> = mapped_filters
+                    .iter()
+                    .map(|p| t.column_index(&p.attribute))
+                    .collect();
                 let filtered = t.filter(|row| {
-                    mapped_filters.iter().all(|p| {
-                        t.column_index(&p.attribute)
-                            .map(|i| p.matches(row[i]))
-                            .unwrap_or(false)
+                    mapped_filters.iter().zip(&filter_idx).all(|(p, i)| {
+                        i.map(|i| p.matches(row[i])).unwrap_or(false)
                     })
                 });
                 if pushdown {
                     moved += filtered.num_rows();
                 }
+                let select_idx: Vec<Option<usize>> =
+                    mapped_select.iter().map(|c| filtered.column_index(c)).collect();
                 Ok((
                     filtered
                         .iter_rows()
                         .map(|row| {
-                            mapped_select
+                            select_idx
                                 .iter()
-                                .map(|c| {
-                                    filtered
-                                        .column_index(c)
-                                        .map(|i| row[i].clone())
-                                        .unwrap_or(Value::Null)
-                                })
+                                .map(|i| i.map(|i| row[i].clone()).unwrap_or(Value::Null))
                                 .collect()
                         })
                         .collect(),
@@ -647,7 +653,7 @@ impl<'a> FederatedEngine<'a> {
 
         let (lt, lstats) = self.execute(
             &Query {
-                select: left_select.clone(),
+                select: left_select,
                 table: query.left.clone(),
                 filters: left_filters,
                 limit: None,
@@ -656,7 +662,7 @@ impl<'a> FederatedEngine<'a> {
         )?;
         let (rt, rstats) = self.execute(
             &Query {
-                select: right_select.clone(),
+                select: right_select,
                 table: query.right.clone(),
                 filters: right_filters,
                 limit: None,
@@ -670,10 +676,11 @@ impl<'a> FederatedEngine<'a> {
         // follow-up work on optimizing federated queries).
         let build_left = lt.num_rows() < rt.num_rows();
         let (build, probe) = if build_left { (&lt, &rt) } else { (&rt, &lt) };
-        let mut hash: std::collections::HashMap<Value, Vec<usize>> =
+        // Keys borrow from the build side — the table outlives the hash
+        // map, so there is no need to clone every join value.
+        let mut hash: std::collections::HashMap<&Value, Vec<usize>> =
             std::collections::HashMap::new();
-        for i in 0..build.num_rows() {
-            let key = build.columns()[0].values[i].clone();
+        for (i, key) in build.columns()[0].values.iter().enumerate() {
             if !key.is_null() {
                 hash.entry(key).or_default().push(i);
             }
@@ -732,7 +739,7 @@ impl<'a> FederatedEngine<'a> {
         patterns: &[TriplePattern],
     ) -> Result<Vec<BTreeMap<String, Value>>> {
         let key = format!("graph:{graph}");
-        let Some(cfg) = self.degradation.clone() else {
+        let Some(cfg) = self.degradation.as_ref() else {
             if let Some(f) = &self.faults {
                 f.intercept(&key, self.clock.as_ref())?;
             }

@@ -10,7 +10,7 @@
 
 use lake_core::{Dataset, DatasetId, Json};
 use lake_index::tfidf::{tokenize_identifier, TfIdfCorpus};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// A ranked search hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +28,10 @@ pub struct Hit {
 pub struct FullTextIndex {
     docs: BTreeMap<DatasetId, Vec<String>>,
     model: Option<TfIdfCorpus>,
+    /// Sorted-dedup token lists, rebuilt with the model in
+    /// [`FullTextIndex::refit`] so [`FullTextIndex::search`] does
+    /// membership tests by binary search with no per-query allocation.
+    sorted: BTreeMap<DatasetId, Vec<String>>,
 }
 
 /// Extract the searchable token bag of a dataset.
@@ -94,6 +98,16 @@ impl FullTextIndex {
     pub fn refit(&mut self) {
         let refs: Vec<&[String]> = self.docs.values().map(Vec::as_slice).collect();
         self.model = Some(TfIdfCorpus::fit(refs));
+        self.sorted = self
+            .docs
+            .iter()
+            .map(|(&id, toks)| {
+                let mut s = toks.clone();
+                s.sort_unstable();
+                s.dedup();
+                (id, s)
+            })
+            .collect();
     }
 
     /// Number of indexed datasets.
@@ -115,12 +129,11 @@ impl FullTextIndex {
         let model = self.model.as_ref().expect("fitted above");
         let terms: Vec<String> = tokenize_identifier(query);
         let mut hits = Vec::new();
-        for (&id, toks) in &self.docs {
-            let tokset: BTreeSet<&str> = toks.iter().map(String::as_str).collect();
+        for (&id, toks) in &self.sorted {
             let mut score = 0.0;
             let mut matched = Vec::new();
             for term in &terms {
-                if tokset.contains(term.as_str()) {
+                if toks.binary_search(term).is_ok() {
                     score += model.idf(term);
                     matched.push(term.clone());
                 }

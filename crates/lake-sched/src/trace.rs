@@ -173,14 +173,10 @@ impl WorkloadTrace {
 }
 
 /// Exact order statistic: the `q`-th percentile of a sorted slice (the
-/// rank-`⌈qn/100⌉` element), 0 for an empty slice.
-pub fn percentile(sorted: &[u64], q: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (q.saturating_mul(sorted.len() as u64)).div_ceil(100).max(1) as usize;
-    sorted.get(rank - 1).copied().unwrap_or(0)
-}
+/// rank-`⌈qn/100⌉` element), 0 for an empty slice. Re-exported from the
+/// workspace-wide definition so every caller (scheduler, server swarm,
+/// benches) pins identical edge semantics.
+pub use lake_core::stats::percentile_u64 as percentile;
 
 /// The three synthetic workload shapes (DLBench-style mix).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -275,14 +275,9 @@ fn build_request(
     }
 }
 
-/// Exact order statistic: the `q`-th percentile of a sorted slice.
-fn percentile(sorted: &[u64], q: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (q * sorted.len() as u64).div_ceil(100).max(1) as usize;
-    sorted.get(rank - 1).copied().unwrap_or(0)
-}
+/// Exact order statistic: the `q`-th percentile of a sorted slice —
+/// the workspace-wide definition with pinned empty/single semantics.
+use lake_core::stats::percentile_u64 as percentile;
 
 /// Run the swarm against `addr` and aggregate the outcome.
 pub fn run_swarm(addr: &str, cfg: &SwarmConfig) -> SwarmReport {

@@ -11,9 +11,12 @@
 # the scheduling bench (e17 replays a captured swarm trace under
 # every policy and records BENCH_sched.json), and the durability bench
 # (e18 gates WAL group commit, recovery replay, and torn-tail
-# quarantine, recording BENCH_durability.json). The BENCH_*.json
-# artifacts are dated trajectories — each run appends an entry instead
-# of overwriting history.
+# quarantine, recording BENCH_durability.json), and the discovery bench
+# (e19 gates columnar-vs-row top-k bit-equality across worker counts,
+# the ≥2x columnar profiling speedup, and incremental index maintenance,
+# recording BENCH_discovery.json). The BENCH_*.json artifacts are dated
+# trajectories — each run appends an entry instead of overwriting
+# history.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,3 +36,4 @@ cargo run --release -p lake-bench --bin e15_parallel
 cargo run --release -p lake-bench --bin e16_server
 cargo run --release -p lake-bench --bin e17_sched
 cargo run --release -p lake-bench --bin e18_durability
+cargo run --release -p lake-bench --bin e19_discovery
